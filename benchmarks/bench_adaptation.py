@@ -1,0 +1,126 @@
+"""E-ADAPT — QoS adaptation (§2.2).
+
+"PSF adapts to low available bandwidth by placing a *view mail server*
+close to the client and to insecure links by placing <encryptor/decryptor>
+pairs."  Regenerates the adaptation decisions for the scenario's clients
+and times the plan+deploy pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.psf import EdgeRequirement, ServiceRequest
+
+from conftest import print_table
+
+CASES = [
+    (
+        "baseline (Alice, NY LAN)",
+        ServiceRequest(client="Alice", client_node="ny-pc1", interface="MailI"),
+        True,
+        [],  # nothing deployed: direct link
+    ),
+    (
+        "low bandwidth (Bob, SD)",
+        ServiceRequest(
+            client="Bob", client_node="sd-pc1", interface="MailI",
+            qos=EdgeRequirement(min_bandwidth_bps=50e6),
+        ),
+        True,
+        ["ViewMailServer"],
+    ),
+    (
+        "insecure bulk link (Bob, SD, no views)",
+        ServiceRequest(
+            client="Bob", client_node="sd-pc1", interface="MailI",
+            qos=EdgeRequirement(privacy=True, channel="rmi"),
+        ),
+        False,
+        ["Decryptor", "Encryptor"],
+    ),
+    (
+        "insecure link, any channel (Charlie, SE)",
+        ServiceRequest(
+            client="Charlie", client_node="se-pc1", interface="MailI",
+            qos=EdgeRequirement(privacy=True),
+        ),
+        True,
+        [],  # switchboard channel, no components
+    ),
+]
+
+
+def test_adaptation_decisions(benchmark, shared_scenario):
+    psf = shared_scenario.psf
+
+    def sweep():
+        rows = []
+        for label, request, use_views, expected in CASES:
+            plan = psf.planner(use_views=use_views).plan(request)
+            deployed = sorted(plan.deployed_names())
+            entry_mode = plan.links[0].mode if plan.links else "?"
+            rows.append([label, ", ".join(deployed) or "(direct)", entry_mode, expected])
+        return rows
+
+    rows = benchmark(sweep)
+    print_table(
+        "E-ADAPT: planner adaptation per environment condition",
+        ["condition", "deployed components", "client channel"],
+        [r[:3] for r in rows],
+    )
+    for (label, _, _, expected), row in zip(CASES, rows):
+        deployed = row[1]
+        expected_str = ", ".join(sorted(expected)) or "(direct)"
+        assert deployed == expected_str, f"{label}: {deployed} != {expected_str}"
+
+
+def test_plan_and_deploy_pipeline(benchmark, scenario_factory):
+    """Wall time for the full request_service flow (plan + deploy +
+    client handle) on the cache-adaptation case."""
+    scenario = scenario_factory()
+    request = ServiceRequest(
+        client="Bob", client_node="sd-pc1", interface="MailI",
+        qos=EdgeRequirement(privacy=True, channel="rmi"),
+    )
+
+    def flow():
+        return scenario.psf.request_service(request)
+
+    session = benchmark.pedantic(flow, rounds=3, iterations=1)
+    assert session.plan.deployed_names() == ["ViewMailServer"]
+
+
+def test_replan_after_environment_change(benchmark, scenario_factory):
+    """The monitoring loop: a link losing its security property changes
+    the plan from direct RMI to an adapted configuration."""
+    scenario = scenario_factory()
+    psf = scenario.psf
+    request = ServiceRequest(
+        client="Alice", client_node="ny-pc1", interface="MailI",
+        qos=EdgeRequirement(privacy=True, channel="rmi"),
+    )
+
+    def replan():
+        # Secure LAN: direct plaintext link is fine.
+        before = psf.planner().plan(request)
+        # The monitor reports the LAN link as compromised.
+        psf.monitor.set_link_security("ny-pc1", "ny-server", False)
+        psf.monitor.set_link_security("ny-pc1", "ny-gw", False)
+        after = psf.planner().plan(request)
+        # Restore for the next benchmark round.
+        psf.monitor.set_link_security("ny-pc1", "ny-server", True)
+        psf.monitor.set_link_security("ny-pc1", "ny-gw", True)
+        return before, after
+
+    before, after = benchmark.pedantic(replan, rounds=3, iterations=1)
+    assert before.deployed_names() == []
+    assert after.deployed_names() != []
+    print_table(
+        "E-ADAPT: replanning after link compromise",
+        ["environment", "deployment"],
+        [
+            ["secure LAN", "(direct rmi)"],
+            ["compromised LAN", ", ".join(sorted(after.deployed_names()))],
+        ],
+    )

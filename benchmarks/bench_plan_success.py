@@ -1,0 +1,93 @@
+"""E-PLAN — views increase deployment success in constrained environments.
+
+§4.2: "By merely distributing component functionality between the original
+and auxiliary objects, views increase the likelihood of the planner
+finding a component deployment in constrained environments."
+
+The sweep tightens the client's QoS (bandwidth demand, latency bound,
+privacy with a pinned bulk channel) and measures planner success with and
+without view-derived components.  The shape to reproduce: the success-rate
+gap opens as constraints tighten.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.psf import EdgeRequirement, ServiceRequest
+
+from conftest import print_table
+
+# (label, request kwargs) from loose to tight.
+CONSTRAINT_LADDER = [
+    ("unconstrained", EdgeRequirement()),
+    ("privacy", EdgeRequirement(privacy=True)),
+    ("privacy+bulk", EdgeRequirement(privacy=True, channel="rmi")),
+    ("bw 5 Mbps", EdgeRequirement(min_bandwidth_bps=5e6)),
+    ("bw 50 Mbps", EdgeRequirement(min_bandwidth_bps=50e6)),
+    ("bw 50 Mbps + privacy", EdgeRequirement(min_bandwidth_bps=50e6, privacy=True)),
+    ("latency 10 ms", EdgeRequirement(max_latency_s=0.010)),
+    ("latency 10 ms + privacy+bulk",
+     EdgeRequirement(max_latency_s=0.010, privacy=True, channel="rmi")),
+]
+
+CLIENTS = [("Bob", "sd-pc1"), ("Alice", "ny-pc2")]
+
+
+def _success(planner, client, node, qos) -> bool:
+    try:
+        planner.plan(
+            ServiceRequest(client=client, client_node=node, interface="MailI", qos=qos)
+        )
+        return True
+    except PlanningError:
+        return False
+
+
+def test_plan_success_ladder(benchmark, shared_scenario):
+    psf = shared_scenario.psf
+
+    def sweep():
+        rows = []
+        for label, qos in CONSTRAINT_LADDER:
+            with_views = sum(
+                _success(psf.planner(use_views=True), c, n, qos) for c, n in CLIENTS
+            )
+            without_views = sum(
+                _success(psf.planner(use_views=False), c, n, qos) for c, n in CLIENTS
+            )
+            rows.append([label, f"{with_views}/{len(CLIENTS)}", f"{without_views}/{len(CLIENTS)}"])
+        return rows
+
+    rows = benchmark(sweep)
+    print_table(
+        "E-PLAN: planner success with vs. without views",
+        ["constraint", "with views", "without views"],
+        rows,
+    )
+    by_label = {r[0]: (r[1], r[2]) for r in rows}
+    # Loose constraints: both succeed.
+    assert by_label["unconstrained"] == ("2/2", "2/2")
+    # Bandwidth-constrained remote clients need the cache: views win.
+    assert by_label["bw 50 Mbps"][0] == "2/2"
+    assert by_label["bw 50 Mbps"][1] != "2/2"
+    assert by_label["latency 10 ms"][0] == "2/2"
+    # Views never hurt: with-views success >= without-views everywhere.
+    for label, (with_v, without_v) in by_label.items():
+        assert int(with_v.split("/")[0]) >= int(without_v.split("/")[0])
+
+
+@pytest.mark.parametrize("use_views", [True, False])
+def test_planning_cost(benchmark, shared_scenario, use_views):
+    """Planner wall time for the privacy+bulk request."""
+    psf = shared_scenario.psf
+    qos = EdgeRequirement(privacy=True, channel="rmi")
+
+    def plan():
+        return psf.planner(use_views=use_views).plan(
+            ServiceRequest(client="Bob", client_node="sd-pc1", interface="MailI", qos=qos)
+        )
+
+    plan_result = benchmark(plan)
+    assert plan_result.deployed_names()

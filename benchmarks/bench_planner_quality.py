@@ -1,0 +1,80 @@
+"""Planner ablation: first-feasible heuristic vs exhaustive optimal.
+
+Sekitei is a satisficing planner ("the output of the planner is a
+sequence of component deployments") with heuristics for network scale.
+This experiment quantifies the trade-off our reproduction makes: how much
+plan quality the first-feasible heuristic gives up against exhaustive
+enumeration, and what the enumeration costs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.psf import EdgeRequirement, ServiceRequest
+
+from conftest import print_table
+
+REQUESTS = [
+    ("direct", ServiceRequest(client="Bob", client_node="sd-pc1", interface="MailI")),
+    (
+        "privacy+bulk",
+        ServiceRequest(
+            client="Bob", client_node="sd-pc1", interface="MailI",
+            qos=EdgeRequirement(privacy=True, channel="rmi"),
+        ),
+    ),
+    (
+        "bandwidth",
+        ServiceRequest(
+            client="Bob", client_node="sd-pc1", interface="MailI",
+            qos=EdgeRequirement(min_bandwidth_bps=50e6),
+        ),
+    ),
+    (
+        "privacy, Seattle",
+        ServiceRequest(
+            client="Charlie", client_node="se-pc1", interface="MailI",
+            qos=EdgeRequirement(privacy=True, channel="rmi"),
+        ),
+    ),
+]
+
+
+def test_quality_gap(benchmark, shared_scenario):
+    planner = shared_scenario.psf.planner()
+
+    def sweep():
+        rows = []
+        for label, req in REQUESTS:
+            heuristic = planner.plan(req)
+            optimal = planner.plan(req, optimize=True)
+            candidates = len(planner.enumerate_plans(req))
+            rows.append(
+                [
+                    label,
+                    f"{planner.plan_cost(heuristic)*1000:.1f}",
+                    f"{planner.plan_cost(optimal)*1000:.1f}",
+                    candidates,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    print_table(
+        "Planner ablation: plan cost (ms), heuristic vs optimal",
+        ["request", "first-feasible", "optimal", "feasible configs"],
+        rows,
+    )
+    for row in rows:
+        assert float(row[2]) <= float(row[1]) + 1e-6
+
+
+@pytest.mark.parametrize("optimize", [False, True])
+def test_planning_time(benchmark, shared_scenario, optimize):
+    """The price of optimality on the hardest request."""
+    planner = shared_scenario.psf.planner()
+    req = REQUESTS[1][1]
+
+    plan = benchmark(lambda: planner.plan(req, optimize=optimize))
+    assert plan.deployed_names()

@@ -1,0 +1,169 @@
+"""E-PROOF — proof-graph search cost as credential sets grow.
+
+The dRBAC mechanism cost (§3.1): chains must be found among distractor
+credentials.  Sweeps chain depth and repository noise; reports wall time
+and edges visited for both search strategies (the regression/progression
+ablation DESIGN.md calls out).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drbac.delegation import issue
+from repro.drbac.model import EntityRef, Role
+from repro.drbac.proof import ProofEngine
+from repro.drbac.repository import DistributedRepository
+
+from conftest import print_table
+
+DEPTHS = [2, 4, 8]
+NOISE = [0, 50, 200]
+
+
+def _world(key_store, depth: int, noise: int):
+    """A depth-`depth` chain for user `u` plus `noise` distractors."""
+    creds = [issue(key_store.identity("D0"), EntityRef("u"), Role("D0", "R"))]
+    for i in range(1, depth):
+        creds.append(
+            issue(
+                key_store.identity(f"D{i}"),
+                Role(f"D{i-1}", "R"),
+                Role(f"D{i}", "R"),
+            )
+        )
+    for n in range(noise):
+        dom = f"N{n % 10}"
+        creds.append(
+            issue(
+                key_store.identity(dom),
+                EntityRef(f"user{n}"),
+                Role(dom, f"R{n}"),
+            )
+        )
+    identities = {}
+    for cred in creds:
+        identities[cred.issuer] = key_store.public(cred.issuer)
+    goal = Role(f"D{depth-1}", "R")
+    return creds, identities, goal
+
+
+@pytest.fixture(scope="module")
+def worlds(key_store):
+    return {
+        (depth, noise): _world(key_store, depth, noise)
+        for depth in DEPTHS
+        for noise in NOISE
+    }
+
+
+def test_proof_search_scaling_table(benchmark, worlds):
+    """Edges visited per (depth, noise) cell, both directions."""
+
+    def sweep():
+        rows = []
+        for (depth, noise), (creds, identities, goal) in sorted(worlds.items()):
+            engine = ProofEngine(identities, verify_signatures=False)
+            regression = engine.find_proof(EntityRef("u"), goal, creds, direction="regression")
+            regression_edges = engine.edges_visited
+            progression = engine.find_proof(EntityRef("u"), goal, creds, direction="progression")
+            progression_edges = engine.edges_visited
+            assert regression is not None and progression is not None
+            rows.append([depth, noise, regression_edges, progression_edges])
+        return rows
+
+    rows = benchmark(sweep)
+    print_table(
+        "E-PROOF: edges visited (regression vs progression)",
+        ["chain depth", "distractors", "regression", "progression"],
+        rows,
+    )
+    # Shape: work grows with depth; indexing keeps distractors nearly free.
+    by_cell = {(r[0], r[1]): (r[2], r[3]) for r in rows}
+    for noise in NOISE:
+        assert by_cell[(8, noise)][0] >= by_cell[(2, noise)][0]
+
+
+@pytest.mark.parametrize("direction", ["regression", "progression"])
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_search_time(benchmark, worlds, direction, depth):
+    creds, identities, goal = worlds[(depth, 200)]
+    engine = ProofEngine(identities, verify_signatures=False)
+
+    proof = benchmark(
+        lambda: engine.find_proof(EntityRef("u"), goal, creds, direction=direction)
+    )
+    assert proof is not None and len(proof.chain) == depth
+
+
+def test_signature_verification_overhead(benchmark, worlds, key_store):
+    """The cost of authenticating the credential set before search."""
+    creds, identities, goal = worlds[(4, 50)]
+    engine = ProofEngine(identities, verify_signatures=True)
+
+    proof = benchmark(lambda: engine.find_proof(EntityRef("u"), goal, creds))
+    assert proof is not None
+
+
+def test_forked_world_asymmetry(benchmark, key_store):
+    """Where the two strategies differ: goal-directed vs subject-directed.
+
+    World A fans out from the subject (u holds many irrelevant roles):
+    progression wades through the fan-out, regression walks straight back
+    from the goal.  World B fans into the goal (many dead-end credentials
+    grant the goal role to the wrong subjects): regression inspects each,
+    progression never looks at them.
+    """
+    fanout = 30
+    # The useful credential comes *after* the distractors, so a strategy
+    # that enumerates the wrong side of the graph pays for every fork.
+    # World A: subject fan-out.
+    a_creds = [
+        issue(key_store.identity("Misc"), EntityRef("u"), Role("Misc", f"R{i}"))
+        for i in range(fanout)
+    ]
+    a_creds.append(issue(key_store.identity("G"), EntityRef("u"), Role("G", "Target")))
+    # World B: goal fan-in.
+    b_creds = [
+        issue(key_store.identity("G"), EntityRef(f"other{i}"), Role("G", "Target"))
+        for i in range(fanout)
+    ]
+    b_creds.append(issue(key_store.identity("G"), EntityRef("u"), Role("G", "Target")))
+    identities = {
+        "G": key_store.public("G"),
+        "Misc": key_store.public("Misc"),
+    }
+    goal = Role("G", "Target")
+
+    def measure():
+        cells = {}
+        for label, creds in (("subject fan-out", a_creds), ("goal fan-in", b_creds)):
+            engine = ProofEngine(identities, verify_signatures=False)
+            assert engine.find_proof(EntityRef("u"), goal, creds, direction="regression")
+            regression = engine.edges_visited
+            assert engine.find_proof(EntityRef("u"), goal, creds, direction="progression")
+            progression = engine.edges_visited
+            cells[label] = (regression, progression)
+        return cells
+
+    cells = benchmark(measure)
+    print_table(
+        "E-PROOF: strategy asymmetry on forked worlds (edges visited)",
+        ["world", "regression", "progression"],
+        [[label, r, p] for label, (r, p) in cells.items()],
+    )
+    fan_out_r, fan_out_p = cells["subject fan-out"]
+    fan_in_r, fan_in_p = cells["goal fan-in"]
+    assert fan_out_r < fan_out_p   # regression ignores the subject's fan-out
+    assert fan_in_p <= fan_in_r    # progression ignores the goal's fan-in
+
+
+def test_repository_harvest_cost(benchmark, worlds, key_store):
+    """Discovery-tag routed collection from the distributed repository."""
+    creds, identities, goal = worlds[(8, 200)]
+    repo = DistributedRepository()
+    repo.publish_all(creds)
+
+    harvested = benchmark(lambda: repo.collect(EntityRef("u"), goal))
+    # The harvest prunes distractors: far fewer than the full set.
+    assert len(harvested) <= 20

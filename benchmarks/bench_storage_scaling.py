@@ -1,0 +1,116 @@
+"""E-STORE — credential-storage scaling (§5, related work).
+
+The paper: GSI stores P x U records, CAS stores C x (P + U), and dRBAC
+stores P + U + c (c = cross-domain mapping credentials).  This experiment
+sweeps the federation size and regenerates the comparison series, then
+checks the paper's ordering: dRBAC < CAS < GSI for any non-trivial
+federation, with the gap widening as P and U grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.cas import CasDeployment
+from repro.baselines.gsi import GsiDeployment
+from repro.drbac import DrbacEngine
+
+from conftest import print_table
+
+SWEEP = [(2, 2), (4, 8), (8, 16), (16, 32), (32, 64)]
+COMMUNITIES = 3
+
+
+def _gsi_records(p: int, u: int) -> int:
+    deployment = GsiDeployment()
+    for i in range(p):
+        deployment.add_provider(f"prov{i}")
+    for j in range(u):
+        deployment.add_user(f"user{j}")
+    return deployment.total_records
+
+
+def _cas_records(p: int, u: int, c: int = COMMUNITIES) -> int:
+    deployment = CasDeployment()
+    for k in range(c):
+        deployment.add_community(f"com{k}")
+    for i in range(p):
+        deployment.add_provider(f"prov{i}")
+    for j in range(u):
+        deployment.enroll_user(f"user{j}")
+    return deployment.total_records
+
+
+def _drbac_records(engine_factory, p: int, u: int) -> int:
+    """dRBAC bookkeeping: one credential per user (its home role), one
+    role-definition credential per provider domain policy, plus a constant
+    number of cross-domain mappings (c)."""
+    engine = engine_factory()
+    for i in range(p):
+        # Each provider publishes its local access policy role once.
+        engine.delegate("Home", f"Provider{i}.Service", "Home.Accessible")
+    for j in range(u):
+        engine.delegate("Home", f"user{j}", "Home.Member")
+    # Cross-domain mapping credentials: constant in P and U.
+    for k in range(COMMUNITIES):
+        engine.delegate("Home", f"Dom{k}.Member", "Home.Member")
+    return engine.repository.credential_count
+
+
+def test_storage_scaling_series(benchmark, key_store):
+    """Regenerate the comparison table across federation sizes."""
+
+    def engine_factory():
+        return DrbacEngine(key_store=key_store, verify_signatures=False)
+
+    def sweep():
+        rows = []
+        for p, u in SWEEP:
+            gsi = _gsi_records(p, u)
+            cas = _cas_records(p, u)
+            drbac = _drbac_records(engine_factory, p, u)
+            rows.append([f"P={p} U={u}", gsi, cas, drbac])
+        return rows
+
+    rows = benchmark(sweep)
+    print_table(
+        "E-STORE: authorization records stored",
+        ["federation", "GSI (PxU)", f"CAS (Cx(P+U), C={COMMUNITIES})", "dRBAC (P+U+c)"],
+        rows,
+    )
+    # Shape checks: exact formulas and the paper's ordering.
+    for (p, u), row in zip(SWEEP, rows):
+        _, gsi, cas, drbac = row
+        assert gsi == p * u
+        assert cas == COMMUNITIES * (p + u)
+        assert drbac == p + u + COMMUNITIES
+        if p >= 8:
+            assert drbac < cas < gsi
+    # The gap widens: GSI/dRBAC ratio grows monotonically.
+    ratios = [row[1] / row[3] for row in rows]
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))
+
+
+def test_gsi_enrollment_cost(benchmark):
+    """Marginal cost of adding one user to a 32-provider GSI federation."""
+    deployment = GsiDeployment()
+    for i in range(32):
+        deployment.add_provider(f"prov{i}")
+    counter = iter(range(10**9))
+
+    def enroll():
+        deployment.add_user(f"user{next(counter)}")
+
+    benchmark(enroll)
+    assert deployment.total_records >= 32
+
+
+def test_drbac_enrollment_cost(benchmark, key_store):
+    """Marginal cost of adding one user under dRBAC: one credential."""
+    engine = DrbacEngine(key_store=key_store, verify_signatures=False)
+    counter = iter(range(10**9))
+
+    def enroll():
+        engine.delegate("Home", f"user{next(counter)}", "Home.Member")
+
+    benchmark(enroll)

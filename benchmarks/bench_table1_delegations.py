@@ -1,0 +1,81 @@
+"""Table 1 — the three dRBAC delegation types.
+
+Regenerates the table (type, shape, example rendering) and times the
+credential lifecycle per type: issue (sign) and authenticate (verify).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drbac.delegation import DelegationType, issue
+from repro.drbac.model import AttrScalar, AttrSet, EntityRef, Role
+
+from conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def issuers(key_store):
+    return {name: key_store.identity(name) for name in ("Comp.NY", "Comp.SD")}
+
+
+def _examples(issuers):
+    """One credential per Table 1 row."""
+    ny, sd = issuers["Comp.NY"], issuers["Comp.SD"]
+    return {
+        DelegationType.SELF_CERTIFYING: issue(
+            ny, EntityRef("Alice"), Role("Comp.NY", "Member"),
+            attributes={"Level": AttrScalar(1)},
+        ),
+        DelegationType.THIRD_PARTY: issue(
+            sd, Role("Inc.SE", "Member"), Role("Comp.NY", "Partner"),
+            attributes={"Level": AttrScalar(1)},
+        ),
+        DelegationType.ASSIGNMENT: issue(
+            ny, EntityRef("Comp.SD"), Role("Comp.NY", "Partner"), assignment=True,
+            attributes={"Level": AttrScalar(1)},
+        ),
+    }
+
+
+def test_table1_shape(benchmark, issuers, key_store):
+    """Regenerate Table 1 and check every classification.
+
+    The benchmarked kernel is the full three-credential issue pass.
+    """
+    examples = benchmark(lambda: _examples(issuers))
+    rows = []
+    for kind, delegation in examples.items():
+        assert delegation.delegation_type is kind
+        assert delegation.verify_signature(key_store.public(delegation.issuer))
+        rows.append([kind.value, str(delegation)])
+    print_table("Table 1: dRBAC delegation types", ["type", "credential"], rows)
+    assert str(examples[DelegationType.ASSIGNMENT]).count("'") == 1
+
+
+@pytest.mark.parametrize("kind", list(DelegationType))
+def test_issue_cost(benchmark, issuers, kind):
+    """Time to create + sign one delegation of each type."""
+    examples = _examples(issuers)
+    template = examples[kind]
+    issuer = issuers[template.issuer]
+
+    def run():
+        return issue(
+            issuer,
+            template.subject,
+            template.role,
+            assignment=kind is DelegationType.ASSIGNMENT,
+            attributes=template.attributes,
+        )
+
+    result = benchmark(run)
+    assert result.delegation_type is kind
+
+
+@pytest.mark.parametrize("kind", list(DelegationType))
+def test_verify_cost(benchmark, issuers, key_store, kind):
+    """Time to authenticate one delegation of each type."""
+    delegation = _examples(issuers)[kind]
+    public = key_store.public(delegation.issuer)
+    assert benchmark(lambda: delegation.verify_signature(public))

@@ -1,0 +1,89 @@
+"""Table 2 — the three-site credential set and every §3.3 authorization.
+
+Regenerates the Table 2 rows (all seventeen credentials in the paper's
+bracket notation) and times the authorization decisions built on them:
+client authorization (Alice, Bob cross-domain, Charlie third-party), node
+authorization (property translation chains), and component authorization
+(Executable roles with attenuated CPU).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drbac.model import EntityRef, Role
+
+from conftest import print_table
+
+
+def test_table2_credentials(benchmark, shared_scenario):
+    """Print the credential set; benchmark re-verifying every signature."""
+    scenario = shared_scenario
+    engine = scenario.engine
+    rows = [
+        [number, str(delegation)]
+        for number, delegation in sorted(scenario.credentials.items())
+    ]
+    print_table("Table 2: Guard-issued credentials", ["#", "credential"], rows)
+
+    def verify_all():
+        ok = 0
+        for delegation in scenario.credentials.values():
+            if delegation.verify_signature(engine.public_identity(delegation.issuer)):
+                ok += 1
+        return ok
+
+    assert benchmark(verify_all) == 17
+
+
+def test_client_authorization_bob(benchmark, shared_scenario):
+    """Bob -> Comp.NY.Member via credentials (11)+(2)."""
+    engine = shared_scenario.engine
+    proof = benchmark(lambda: engine.find_proof("Bob", "Comp.NY.Member"))
+    assert proof is not None and len(proof.chain) == 2
+
+
+def test_client_authorization_charlie(benchmark, shared_scenario):
+    """Charlie -> Comp.NY.Partner via (15)+(12), supported by (3)."""
+    engine = shared_scenario.engine
+    proof = benchmark(lambda: engine.find_proof("Charlie", "Comp.NY.Partner"))
+    assert proof is not None and proof.support
+
+
+def test_node_authorization_sd(benchmark, shared_scenario):
+    """sd-pc1 -> Mail.Node(Secure, Trust) via (13)+(5)."""
+    engine = shared_scenario.engine
+    proof = benchmark(
+        lambda: engine.is_a("sd-pc1", "Mail.Node with Secure={true} Trust=(0,5)")
+    )
+    assert proof is not None
+
+
+def test_component_authorization_budgets(benchmark, shared_scenario):
+    """CPU budgets across domains: 100 (NY), 80 (SD), 40 (SE)."""
+    scenario = shared_scenario
+
+    def budgets():
+        return (
+            scenario.ny_guard.component_cpu_budget(Role("Mail", "MailClient")),
+            scenario.sd_guard.component_cpu_budget(Role("Mail", "Encryptor")),
+            scenario.se_guard.component_cpu_budget(Role("Mail", "Decryptor")),
+        )
+
+    result = benchmark(budgets)
+    print_table(
+        "Component authorization (attenuated CPU budgets)",
+        ["component", "domain", "budget"],
+        [
+            ["Mail.MailClient", "Comp.NY", result[0]],
+            ["Mail.Encryptor", "Comp.SD", result[1]],
+            ["Mail.Decryptor", "Inc.SE", result[2]],
+        ],
+    )
+    assert result == (100, 80, 40)
+
+
+def test_scenario_build_cost(benchmark, scenario_factory):
+    """Time to construct the entire three-site world from scratch."""
+    scenario = benchmark(scenario_factory)
+    assert len(scenario.credentials) == 17

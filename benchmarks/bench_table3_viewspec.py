@@ -1,0 +1,66 @@
+"""Table 3 — the original object (3a) and the XML view rules (3b).
+
+Validates that the Table 3(a) component and Table 3(b) XML are faithfully
+representable, and times XML parsing + validation of the partner view.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mail.client import MAIL_CLIENT_INTERFACES, MailClient
+from repro.mail.views_specs import VIEW_MAIL_CLIENT_PARTNER_XML
+from repro.views.spec import InterfaceMode, ViewSpec
+
+from conftest import print_table
+
+
+def test_table3a_component_shape(benchmark):
+    """The represented object implements the three declared interfaces."""
+
+    def check():
+        client = MailClient(accounts={"a": {"name": "a", "phone": "1", "email": "e"}})
+        covered = 0
+        for iface in MAIL_CLIENT_INTERFACES:
+            for sig in iface.methods:
+                assert callable(getattr(client, sig.name))
+                covered += 1
+        # The private helper of Table 3a exists and is not on any interface.
+        assert callable(client.findAccount)
+        return covered
+
+    assert benchmark(check) == 6
+    print_table(
+        "Table 3(a): MailClient interfaces",
+        ["interface", "methods"],
+        [[i.name, ", ".join(i.method_names())] for i in MAIL_CLIENT_INTERFACES],
+    )
+
+
+def test_table3b_xml_parse(benchmark):
+    """Parse + validate the Table 3(b) XML rules."""
+    spec = benchmark(lambda: ViewSpec.from_xml(VIEW_MAIL_CLIENT_PARTNER_XML))
+    assert spec.name == "ViewMailClient_Partner"
+    assert spec.represents == "MailClient"
+    modes = {r.name: r.mode.value for r in spec.interfaces}
+    print_table(
+        "Table 3(b): ViewMailClient_Partner restrictions",
+        ["interface", "type"],
+        sorted(modes.items()),
+    )
+    assert modes == {
+        "MessageI": "local",
+        "NotesI": "rmi",
+        "AddressI": "switchboard",
+    }
+    assert [f.name for f in spec.added_fields] == ["accountCopy"]
+
+
+def test_table3b_roundtrip(benchmark):
+    """XML -> spec -> XML -> spec is stable (the digest VIG caches on)."""
+    spec = ViewSpec.from_xml(VIEW_MAIL_CLIENT_PARTNER_XML)
+
+    def roundtrip():
+        return ViewSpec.from_xml(spec.to_xml()).digest()
+
+    assert benchmark(roundtrip) == spec.digest()

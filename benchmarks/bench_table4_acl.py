@@ -1,0 +1,44 @@
+"""Table 4 — role -> view access rules.
+
+Regenerates the table by resolving the view for each scenario principal
+through live cross-domain proofs, and times each resolution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+
+EXPECTED = {
+    "Alice": "ViewMailClient_Member",      # Comp.NY.Member directly
+    "Bob": "ViewMailClient_Member",        # via Comp.SD.Member -> Comp.NY.Member
+    "Charlie": "ViewMailClient_Partner",   # via Inc.SE.Member -> Comp.NY.Partner
+    "Stranger": "ViewMailClient_Anonymous",
+}
+
+
+def test_table4_resolution(benchmark, shared_scenario):
+    scenario = shared_scenario
+    policy = scenario.psf.registrar.policy("MailClient")
+
+    def resolve_all():
+        return {
+            client: policy.resolve(client, scenario.engine).view_name
+            for client in EXPECTED
+        }
+
+    resolved = benchmark(resolve_all)
+    rows = [
+        [client, resolved[client], "default" if client == "Stranger" else "proof"]
+        for client in EXPECTED
+    ]
+    print_table("Table 4: role -> view resolution", ["client", "view", "basis"], rows)
+    assert resolved == EXPECTED
+
+
+@pytest.mark.parametrize("client", list(EXPECTED))
+def test_per_client_resolution_cost(benchmark, shared_scenario, client):
+    policy = shared_scenario.psf.registrar.policy("MailClient")
+    decision = benchmark(lambda: policy.resolve(client, shared_scenario.engine))
+    assert decision.view_name == EXPECTED[client]

@@ -1,0 +1,93 @@
+"""Policy-translation sync cost (§6 future work, implemented).
+
+Measures the incremental mirror: initial sync of N native grants, the
+no-op steady-state sync, and the cost of propagating one native
+revocation into dRBAC (which must also fire live monitors).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drbac import DrbacEngine
+from repro.drbac.model import Role
+from repro.drbac.translate import (
+    CapabilityPolicy,
+    PolicyTranslator,
+    TranslationRule,
+)
+
+from conftest import print_table
+
+GRANT_COUNTS = [10, 50, 200]
+
+
+def _world(key_store, grants: int):
+    engine = DrbacEngine(key_store=key_store, verify_signatures=False)
+    policy = CapabilityPolicy()
+    for i in range(grants):
+        policy.grant(f"user{i}", "access")
+    translator = PolicyTranslator(
+        engine, "Dom", policy, [TranslationRule("access", Role("Dom", "User"))]
+    )
+    return engine, policy, translator
+
+
+@pytest.mark.parametrize("grants", GRANT_COUNTS)
+def test_initial_sync_cost(benchmark, key_store, grants):
+    """First sync mirrors every native grant (one signature each)."""
+
+    def run():
+        _, _, translator = _world(key_store, grants)
+        report = translator.sync()
+        return len(report.issued)
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == grants
+
+
+def test_steady_state_sync_is_cheap(benchmark, key_store):
+    """With nothing changed, sync only diffs the grant sets."""
+    engine, policy, translator = _world(key_store, 200)
+    translator.sync()
+
+    def run():
+        return translator.sync()
+
+    report = benchmark(run)
+    assert not report.issued and not report.revoked
+
+
+def test_revocation_propagation(benchmark, key_store):
+    """One native revocation: revoke + live-monitor notification."""
+    engine, policy, translator = _world(key_store, 50)
+    translator.sync()
+    counter = iter(range(10**9))
+
+    def run():
+        i = next(counter) % 50
+        policy.revoke(f"user{i}", "access")
+        report = translator.sync()
+        policy.grant(f"user{i}", "access")
+        translator.sync()
+        return len(report.revoked)
+
+    assert benchmark(run) == 1
+
+
+def test_translation_summary(benchmark, key_store):
+    def sweep():
+        rows = []
+        for grants in GRANT_COUNTS:
+            engine, policy, translator = _world(key_store, grants)
+            report = translator.sync()
+            rows.append([grants, len(report.issued), translator.mirrored_count()])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    print_table(
+        "Policy translation: native grants mirrored into dRBAC",
+        ["native grants", "credentials issued", "mirrored"],
+        rows,
+    )
+    for grants, issued, mirrored in rows:
+        assert issued == mirrored == grants

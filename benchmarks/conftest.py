@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures.
+
+Benchmarks use full-size (1024-bit) RSA keys by default so the reported
+crypto costs are representative; set the key store once per session.
+Every experiment prints its paper-shaped table to stdout (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them); EXPERIMENTS.md
+records the measured numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import KeyStore
+from repro.mail import build_scenario
+
+BENCH_KEY_BITS = 1024
+
+
+@pytest.fixture(scope="session")
+def key_store() -> KeyStore:
+    return KeyStore(key_bits=BENCH_KEY_BITS)
+
+
+@pytest.fixture(scope="session")
+def shared_scenario(key_store):
+    """Read-only scenario shared across benchmarks."""
+    return build_scenario(key_store=key_store)
+
+
+@pytest.fixture()
+def scenario_factory(key_store):
+    def build(**kwargs):
+        kwargs.setdefault("key_store", key_store)
+        return build_scenario(**kwargs)
+
+    return build
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Uniform fixed-width table printer for experiment outputs."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

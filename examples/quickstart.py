@@ -1,0 +1,99 @@
+"""Quickstart: dRBAC credentials + an object view in ~60 lines.
+
+Builds a two-domain trust world, proves a cross-domain role, defines a
+view with the paper's XML rule language, generates it with VIG, and shows
+fine-grained restriction + cache coherence in action.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.drbac import DrbacEngine
+from repro.views import InterfaceRegistry, Vig, ViewRuntime, interface_from_class
+
+
+# --- 1. A reusable component (the "original object") -----------------------
+
+class Ledger:
+    """A toy component with a sensitive and a public interface."""
+
+    def __init__(self):
+        self.entries = []
+        self.audit_log = []
+
+    def add_entry(self, amount):
+        self.entries.append(amount)
+        self._audit(f"add {amount}")
+        return sum(self.entries)
+
+    def balance(self):
+        return sum(self.entries)
+
+    def read_audit_log(self):
+        return list(self.audit_log)
+
+    def _audit(self, line):
+        self.audit_log.append(line)
+
+
+class PublicI:
+    def balance(self): ...
+    def add_entry(self, amount): ...
+
+
+class AuditI:
+    def read_audit_log(self): ...
+
+
+def main() -> None:
+    # --- 2. Decentralized trust: two domains, one cross-domain mapping ----
+    engine = DrbacEngine(key_bits=512)
+    engine.delegate("Bank", "Carol", "Bank.Teller")                # local role
+    engine.delegate("HQ", "Bank.Teller", "HQ.Accountant")          # role mapping
+    proof = engine.find_proof("Carol", "HQ.Accountant")
+    print("cross-domain proof:", proof)
+
+    # --- 3. Define a view with the Table 3(b) XML rule language ------------
+    registry = InterfaceRegistry()
+    registry.register_class(PublicI)
+    registry.register_class(AuditI)
+    vig = Vig(registry)
+
+    teller_view_xml = """
+    <View name="TellerLedgerView">
+      <Represents name="Ledger"/>
+      <Restricts>
+        <Interface name="PublicI" type="local"/>
+      </Restricts>
+      <Customizes_Methods>
+        <MSign>add_entry(amount)</MSign>
+        <MBody>
+if amount &gt; 1000:
+    raise PermissionError("tellers may not post entries above 1000")
+self.entries.append(amount)
+self._audit("teller add " + str(amount))
+return sum(self.entries)
+        </MBody>
+      </Customizes_Methods>
+    </View>
+    """
+    view_cls = vig.generate_from_xml(teller_view_xml, Ledger)
+
+    # --- 4. Use the view: restriction + coherence --------------------------
+    original = Ledger()
+    view = view_cls(ViewRuntime(local_objects={"Ledger": original}))
+
+    print("balance via view:", view.balance())
+    print("posting 250 via view:", view.add_entry(250))
+    print("original sees the entry:", original.entries, original.audit_log)
+
+    print("audit interface hidden from tellers:", not hasattr(view, "read_audit_log"))
+    try:
+        view.add_entry(5000)
+    except PermissionError as exc:
+        print("customized policy enforced:", exc)
+
+
+if __name__ == "__main__":
+    main()

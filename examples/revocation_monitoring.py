@@ -1,0 +1,86 @@
+"""Continuous authorization on long-lived channels (§4.3).
+
+Switchboard's distinguishing property over SSL/TLS: connections stay
+*continuously authorized and monitored*.  This example opens a channel,
+streams heartbeats (liveness + RTT), revokes a credential mid-session,
+watches both ends flip to REVOKED, and then revalidates with fresh
+credentials — the full lifecycle the paper describes.
+
+Run:  python examples/revocation_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro.drbac import DrbacEngine
+from repro.net import EventScheduler, Network, Transport
+from repro.switchboard import (
+    AuthorizationSuite,
+    RoleAuthorizer,
+    SwitchboardEndpoint,
+)
+
+
+class PayrollService:
+    def current_run(self):
+        return {"period": "2026-07", "status": "open"}
+
+    def approve(self, period):
+        return f"approved:{period}"
+
+
+def main() -> None:
+    engine = DrbacEngine(key_bits=512)
+    network = Network()
+    network.add_node("laptop")
+    network.add_node("datacenter")
+    network.add_link("laptop", "datacenter", latency_s=0.015, secure=False)
+    scheduler = EventScheduler()
+    transport = Transport(network, scheduler)
+
+    # Trust setup: HR's Guard admits holders of HR.Approver.
+    credential = engine.delegate("HR", "Dana", "HR.Approver")
+    print("issued:", credential)
+
+    client_ep = SwitchboardEndpoint(transport, "laptop")
+    server_ep = SwitchboardEndpoint(transport, "datacenter")
+    server_ep.export("payroll", PayrollService())
+    server_ep.listen(
+        "payroll",
+        AuthorizationSuite(
+            identity=engine.identity("PayrollSvc"),
+            authorizer=RoleAuthorizer(engine, "HR.Approver"),
+        ),
+    )
+
+    suite = AuthorizationSuite(identity=engine.identity("Dana"), credentials=[credential])
+    connection = client_ep.connect("datacenter", "payroll", suite).wait()
+    print("channel open; peer:", connection.peer_identity.name)
+    connection.on_trust_change(lambda cid: print(f"  !! trust changed (credential {cid})"))
+
+    connection.start_heartbeats(1.0)
+    scheduler.run_until(4.0)
+    print(f"after 4s: rtt={connection.last_rtt*1000:.1f} ms, "
+          f"heartbeats answered={connection.stats.heartbeats_answered}")
+
+    print("call:", connection.call_sync("payroll", "current_run"))
+
+    # --- mid-session revocation -------------------------------------------
+    print("\nHR revokes Dana's approver credential...")
+    engine.revoke(credential)
+    scheduler.run()
+    print("channel state:", connection.state.value)
+    try:
+        connection.call_sync("payroll", "approve", ["2026-07"])
+    except Exception as exc:
+        print(f"call blocked: {type(exc).__name__}: {exc}")
+
+    # --- revalidation -------------------------------------------------------
+    print("\nDana obtains a fresh credential and revalidates...")
+    fresh = engine.delegate("HR", "Dana", "HR.Approver")
+    result = connection.revalidate([fresh]).wait()
+    print("revalidated:", result, "| channel state:", connection.state.value)
+    print("call:", connection.call_sync("payroll", "approve", ["2026-07"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Thin shim so legacy editable installs work on environments whose
+setuptools predates PEP 660 (all metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""repro — reproduction of *Using Views for Customizing Reusable Components
+in Component-Based Frameworks* (Ivan & Karamcheti, HPDC 2003).
+
+Subpackages:
+
+* :mod:`repro.crypto` — from-scratch PKI substrate (RSA, DH, AEAD).
+* :mod:`repro.drbac` — decentralized role-based access control.
+* :mod:`repro.net` — simulated multi-domain network.
+* :mod:`repro.switchboard` — secure, continuously-authorized channels.
+* :mod:`repro.views` — object views and the VIG view generator.
+* :mod:`repro.psf` — the Partitionable Services Framework.
+* :mod:`repro.baselines` — GSI / CAS / per-call-ACL comparators.
+* :mod:`repro.mail` — the paper's component-based mail application.
+"""
+
+from .clock import Clock, ManualClock, SystemClock
+from .errors import (
+    AuthorizationError,
+    ChannelClosedError,
+    CipherError,
+    CredentialError,
+    CryptoError,
+    DeploymentError,
+    DrbacError,
+    HandshakeError,
+    KeyExchangeError,
+    LinkDownError,
+    NetworkError,
+    PlanningError,
+    PsfError,
+    ReplayError,
+    ReproError,
+    RevocationError,
+    SignatureError,
+    SwitchboardError,
+    ViewError,
+    ViewGenerationError,
+    ViewSpecError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuthorizationError",
+    "ChannelClosedError",
+    "CipherError",
+    "Clock",
+    "CredentialError",
+    "CryptoError",
+    "DeploymentError",
+    "DrbacError",
+    "HandshakeError",
+    "KeyExchangeError",
+    "LinkDownError",
+    "ManualClock",
+    "NetworkError",
+    "PlanningError",
+    "PsfError",
+    "ReplayError",
+    "ReproError",
+    "RevocationError",
+    "SignatureError",
+    "SwitchboardError",
+    "SystemClock",
+    "ViewError",
+    "ViewGenerationError",
+    "ViewSpecError",
+    "__version__",
+]

@@ -1,0 +1,127 @@
+"""Self-check entry point: ``python -m repro``.
+
+Builds the paper's three-site scenario end to end and verifies the core
+behavioural battery — Table 2 authorizations, Table 4 view resolution,
+VIG generation of the Table 5 view, QoS adaptation planning, and a live
+revocation — printing one PASS/FAIL line per check.  Exit status is
+non-zero when any check fails, so the command doubles as a smoke test
+for packaging and new environments.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .drbac.model import Role
+from .mail import MailClient, build_scenario
+from .psf import EdgeRequirement, ServiceRequest
+
+
+def run_selfcheck(*, key_bits: int = 512, verbose: bool = True) -> int:
+    failures = 0
+
+    def check(label: str, condition: bool) -> None:
+        nonlocal failures
+        status = "PASS" if condition else "FAIL"
+        if not condition:
+            failures += 1
+        if verbose:
+            print(f"  [{status}] {label}")
+
+    t0 = time.perf_counter()
+    scenario = build_scenario(key_bits=key_bits)
+    engine = scenario.engine
+    if verbose:
+        print(f"scenario built in {time.perf_counter() - t0:.2f}s")
+        print("\n-- Table 2 authorizations --")
+
+    check("17 credentials issued", len(scenario.credentials) == 17)
+    check("Alice is Comp.NY.Member", engine.find_proof("Alice", "Comp.NY.Member") is not None)
+    bob = engine.find_proof("Bob", "Comp.NY.Member")
+    check("Bob chains (11)+(2)", bob is not None and len(bob.chain) == 2)
+    charlie = engine.find_proof("Charlie", "Comp.NY.Partner")
+    check(
+        "Charlie chains (15)+(12) with (3)",
+        charlie is not None and len(charlie.support) == 1,
+    )
+    check(
+        "sd-pc1 is a secure Mail.Node",
+        engine.is_a("sd-pc1", "Mail.Node with Secure={true} Trust=(0,5)") is not None,
+    )
+    check(
+        "se-pc1 is NOT a secure Mail.Node",
+        engine.is_a("se-pc1", "Mail.Node with Secure={true}") is None,
+    )
+    check(
+        "CPU budgets 100/80/40",
+        (
+            scenario.ny_guard.component_cpu_budget(Role("Mail", "MailClient")),
+            scenario.sd_guard.component_cpu_budget(Role("Mail", "Encryptor")),
+            scenario.se_guard.component_cpu_budget(Role("Mail", "Decryptor")),
+        )
+        == (100, 80, 40),
+    )
+
+    if verbose:
+        print("\n-- Table 4 / Table 5: views --")
+    policy = scenario.psf.registrar.policy("MailClient")
+    check(
+        "Charlie resolves to the partner view",
+        policy.resolve("Charlie", engine).view_name == "ViewMailClient_Partner",
+    )
+    check(
+        "strangers get the anonymous view",
+        policy.resolve("Nobody", engine).view_name == "ViewMailClient_Anonymous",
+    )
+    spec = scenario.psf.registrar.view_spec("ViewMailClient_Partner")
+    view_cls = scenario.psf.vig.generate(spec, MailClient)
+    check(
+        "VIG generated the Table 5 layout",
+        getattr(view_cls.getPhone, "__forwarder__", "") == "_swb_AddressI"
+        and getattr(view_cls.sendMessage, "__coherence_wrapped__", False),
+    )
+
+    if verbose:
+        print("\n-- QoS adaptation --")
+    planner = scenario.psf.planner()
+    cache_plan = planner.plan(
+        ServiceRequest(
+            client="Bob", client_node="sd-pc1", interface="MailI",
+            qos=EdgeRequirement(min_bandwidth_bps=50e6),
+        )
+    )
+    check("low bandwidth -> cache near client", cache_plan.deployed_names() == ["ViewMailServer"])
+    pair_plan = scenario.psf.planner(use_views=False).plan(
+        ServiceRequest(
+            client="Bob", client_node="sd-pc1", interface="MailI",
+            qos=EdgeRequirement(privacy=True, channel="rmi"),
+        )
+    )
+    check(
+        "insecure bulk link -> encryptor/decryptor pair",
+        sorted(pair_plan.deployed_names()) == ["Decryptor", "Encryptor"],
+    )
+
+    if verbose:
+        print("\n-- continuous authorization --")
+    result = engine.authorize("Charlie", "Comp.NY.Partner")
+    engine.revoke(scenario.credentials[12])
+    check("revocation invalidates the live proof", not result.valid)
+
+    if verbose:
+        print(f"\n{'ALL CHECKS PASSED' if failures == 0 else f'{failures} CHECK(S) FAILED'}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    key_bits = 512
+    if argv and argv[0] == "--full-keys":
+        key_bits = 1024
+    print("repro self-check: Using Views for Customizing Reusable Components (HPDC 2003)")
+    return 1 if run_selfcheck(key_bits=key_bits) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Comparator baselines for the paper's quantitative claims (§5).
+
+* :mod:`repro.baselines.gsi` — gridmap authorization, storage P x U.
+* :mod:`repro.baselines.cas` — community authorization, storage C x (P+U).
+* :mod:`repro.baselines.acl_per_call` — Legion-MayI per-call checking, the
+  foil for single-sign-on views.
+"""
+
+from .acl_per_call import PerCallGuardedService, PerCallStats
+from .cas import CasCommunity, CasDeployment, CasProvider
+from .gsi import GridmapEntry, GsiDeployment, GsiProvider
+
+__all__ = [
+    "CasCommunity",
+    "CasDeployment",
+    "CasProvider",
+    "GridmapEntry",
+    "GsiDeployment",
+    "GsiProvider",
+    "PerCallGuardedService",
+    "PerCallStats",
+]

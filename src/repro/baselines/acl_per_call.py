@@ -1,0 +1,88 @@
+"""Per-call access-control baseline (§4.2, §5).
+
+The contrast class for the views/Switchboard single-sign-on claim: systems
+like Legion require every object to "implement a special function, MayI,
+that is called to check credentials every time a user invokes a method on
+the object".  :class:`PerCallGuardedService` wraps a target object so that
+*every* method invocation re-runs a full dRBAC proof search — the cost the
+E-SSO experiment compares against authorize-once views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..drbac.delegation import Delegation
+from ..drbac.engine import DrbacEngine
+from ..drbac.model import EntityRef, Role
+from ..errors import AuthorizationError
+
+
+@dataclass
+class PerCallStats:
+    calls: int = 0
+    proofs_run: int = 0
+    denials: int = 0
+
+
+class PerCallGuardedService:
+    """Legion-``MayI``-style wrapper: authorize on every invocation."""
+
+    def __init__(
+        self,
+        target: Any,
+        engine: DrbacEngine,
+        required_role: Role | str,
+        *,
+        method_roles: dict[str, Role | str] | None = None,
+    ) -> None:
+        self._target = target
+        self._engine = engine
+        self._required_role = (
+            Role.parse(required_role) if isinstance(required_role, str) else required_role
+        )
+        self._method_roles = {
+            name: Role.parse(role) if isinstance(role, str) else role
+            for name, role in (method_roles or {}).items()
+        }
+        self.stats = PerCallStats()
+
+    def may_i(
+        self,
+        client: str,
+        method: str,
+        credentials: Iterable[Delegation] | None = None,
+    ) -> bool:
+        """The per-invocation check (Legion's MayI)."""
+        role = self._method_roles.get(method, self._required_role)
+        self.stats.proofs_run += 1
+        pool = list(credentials) if credentials is not None else None
+        if pool is None:
+            pool = self._engine.repository.collect(EntityRef(client), role)
+        else:
+            harvested = self._engine.repository.collect(EntityRef(client), role)
+            merged = {c.credential_id: c for c in harvested}
+            for cred in pool:
+                merged[cred.credential_id] = cred
+            pool = list(merged.values())
+        proof = self._engine.find_proof(EntityRef(client), role, pool)
+        return proof is not None
+
+    def invoke(
+        self,
+        client: str,
+        method: str,
+        args: list | None = None,
+        credentials: Iterable[Delegation] | None = None,
+    ) -> Any:
+        """Check, then call — paying the proof search on every request."""
+        self.stats.calls += 1
+        credentials = list(credentials) if credentials is not None else None
+        if not self.may_i(client, method, credentials):
+            self.stats.denials += 1
+            raise AuthorizationError(
+                f"client {client!r} denied for method {method!r}"
+            )
+        fn = getattr(self._target, method)
+        return fn(*(args or []))

@@ -1,0 +1,78 @@
+"""GSI-style baseline: gridmap authorization (§5, related work).
+
+"In GSI, all resource providers (P) have the necessary authentication/
+authorization information for all possible users (U), thus implying a
+storage space proportional with P x U."
+
+Each provider keeps a *gridmap*: one record per user it will serve,
+translating the system-wide grid credential into a local account.  The
+model below counts exactly those records so the E-STORE experiment can
+reproduce the P x U scaling claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GridmapEntry:
+    """One gridmap line: grid DN -> local account."""
+
+    user: str
+    local_account: str
+
+
+class GsiProvider:
+    """A resource provider holding a full per-user gridmap."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._gridmap: dict[str, GridmapEntry] = {}
+
+    def enroll_user(self, user: str) -> None:
+        """Record the grid→local translation for one user."""
+        self._gridmap[user] = GridmapEntry(
+            user=user, local_account=f"{self.name}:{user}"
+        )
+
+    def authorize(self, user: str) -> bool:
+        """Authorization = gridmap membership (coarse, per-account)."""
+        return user in self._gridmap
+
+    @property
+    def record_count(self) -> int:
+        return len(self._gridmap)
+
+
+class GsiDeployment:
+    """A whole GSI federation: P providers x U users."""
+
+    def __init__(self) -> None:
+        self.providers: dict[str, GsiProvider] = {}
+        self.users: set[str] = set()
+
+    def add_provider(self, name: str) -> GsiProvider:
+        provider = GsiProvider(name)
+        self.providers[name] = provider
+        return provider
+
+    def add_user(self, user: str) -> None:
+        """Every provider must learn about every user (the P x U cost)."""
+        self.users.add(user)
+        for provider in self.providers.values():
+            provider.enroll_user(user)
+
+    def sync(self) -> None:
+        """Backfill providers added after users (keeps P x U invariant)."""
+        for provider in self.providers.values():
+            for user in self.users:
+                provider.enroll_user(user)
+
+    def authorize(self, provider: str, user: str) -> bool:
+        return self.providers[provider].authorize(user)
+
+    @property
+    def total_records(self) -> int:
+        """The storage figure the paper compares: sums to P x U."""
+        return sum(p.record_count for p in self.providers.values())

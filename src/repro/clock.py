@@ -1,0 +1,53 @@
+"""Clock abstractions shared across subsystems.
+
+Credential expiry, heartbeat timing, and the simulated network all consume
+time through the :class:`Clock` protocol so tests can drive a
+:class:`ManualClock` deterministically while examples may use the
+:class:`SystemClock`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything that can report the current time in seconds."""
+
+    def now(self) -> float:  # pragma: no cover - protocol signature
+        ...
+
+
+class ManualClock:
+    """Deterministic clock advanced explicitly by tests and simulations."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; rejects negative steps."""
+        if seconds < 0:
+            raise ValueError("time cannot go backwards")
+        self._now += seconds
+        return self._now
+
+    def set(self, timestamp: float) -> None:
+        """Jump to an absolute time, monotonically."""
+        if timestamp < self._now:
+            raise ValueError("time cannot go backwards")
+        self._now = float(timestamp)
+
+
+class SystemClock:
+    """Wall-clock time (monotonic), for interactive examples."""
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin

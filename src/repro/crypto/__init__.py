@@ -1,0 +1,48 @@
+"""Cryptographic substrate: from-scratch RSA, Diffie-Hellman, and an
+authenticated stream cipher.
+
+Simulation-grade by design (see DESIGN.md §6): the algebra is real and the
+security properties exercised by the test suite hold (unforgeability of
+signatures, tamper detection, replay rejection), but nothing here is
+hardened against side channels.
+"""
+
+from .cipher import AuthenticatedCipher
+from .dh import MODP_2048_GENERATOR, MODP_2048_PRIME, DiffieHellman
+from .keys import Identity, KeyStore, PublicIdentity
+from .numtheory import (
+    bytes_to_int,
+    egcd,
+    generate_distinct_primes,
+    generate_prime,
+    int_to_bytes,
+    is_probable_prime,
+    modinv,
+)
+from .rsa import (
+    DEFAULT_KEY_BITS,
+    RsaPrivateKey,
+    RsaPublicKey,
+    generate_keypair,
+)
+
+__all__ = [
+    "AuthenticatedCipher",
+    "DEFAULT_KEY_BITS",
+    "DiffieHellman",
+    "Identity",
+    "KeyStore",
+    "MODP_2048_GENERATOR",
+    "MODP_2048_PRIME",
+    "PublicIdentity",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "bytes_to_int",
+    "egcd",
+    "generate_distinct_primes",
+    "generate_keypair",
+    "generate_prime",
+    "int_to_bytes",
+    "is_probable_prime",
+    "modinv",
+]

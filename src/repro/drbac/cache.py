@@ -1,0 +1,114 @@
+"""Monitored proof caching.
+
+Authorization decisions in PSF recur — the same client hits the same
+role check on every request in systems without single sign-on, and the
+planner re-asks the same node/component queries per planning pass.  A
+:class:`CachedAuthorizer` memoizes :class:`AuthorizationResult`s and uses
+their live :class:`~repro.drbac.monitor.ProofMonitor`s for *sound*
+invalidation: a cached proof is served only while every credential in it
+is unrevoked and unexpired, so caching never extends access beyond what a
+fresh search would grant.
+
+This is the middle ground between the paper's two poles (per-call proof
+search vs authorize-once views); ``benchmarks/bench_sso_overhead.py``
+ablates all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .delegation import Delegation
+from .engine import AuthorizationResult, DrbacEngine
+from .model import Attributes, Role, Subject, subject_key
+
+
+@dataclass(slots=True)
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    invalidated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+class CachedAuthorizer:
+    """Memoizing façade over :meth:`DrbacEngine.authorize`."""
+
+    def __init__(self, engine: DrbacEngine, *, max_entries: int = 4096) -> None:
+        self.engine = engine
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._cache: dict[tuple, AuthorizationResult] = {}
+
+    def _key(
+        self,
+        subject: Subject | str,
+        role: Role | str,
+        required_attributes: Attributes | None,
+    ) -> tuple:
+        attrs_key = (
+            tuple(sorted((k, str(v)) for k, v in required_attributes.items()))
+            if required_attributes
+            else ()
+        )
+        return (str(subject), str(role), attrs_key)
+
+    def authorize(
+        self,
+        subject: Subject | str,
+        role: Role | str,
+        credentials: Iterable[Delegation] | None = None,
+        *,
+        required_attributes: Attributes | None = None,
+    ) -> AuthorizationResult:
+        """Serve from cache while the cached proof remains live."""
+        key = self._key(subject, role, required_attributes)
+        cached = self._cache.get(key)
+        if cached is not None:
+            if cached.valid and cached.monitor.check_expiry(self.engine.clock.now()):
+                self.stats.hits += 1
+                return cached
+            # Revoked or lapsed: drop it and fall through to a fresh search.
+            cached.close()
+            del self._cache[key]
+            self.stats.invalidated += 1
+        self.stats.misses += 1
+        result = self.engine.authorize(
+            subject, role, credentials, required_attributes=required_attributes
+        )
+        if len(self._cache) >= self.max_entries:
+            # Evict the oldest entry (insertion order) — simple and bounded.
+            oldest = next(iter(self._cache))
+            self._cache.pop(oldest).close()
+        self._cache[key] = result
+        return result
+
+    def is_authorized(
+        self,
+        subject: Subject | str,
+        role: Role | str,
+        credentials: Iterable[Delegation] | None = None,
+        *,
+        required_attributes: Attributes | None = None,
+    ) -> bool:
+        from ..errors import AuthorizationError
+
+        try:
+            self.authorize(
+                subject, role, credentials, required_attributes=required_attributes
+            )
+            return True
+        except AuthorizationError:
+            return False
+
+    def clear(self) -> None:
+        for result in self._cache.values():
+            result.close()
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,210 @@
+"""DrbacEngine: the top-level dRBAC façade.
+
+Packages the pieces the rest of the framework consumes: an identity
+directory for signature verification, the distributed repository, the
+revocation directory, the proof engine, and monitored authorization.
+
+Section 3.1's protocol: "a trust-sensitive component C ... presents the
+public identity of S, a set of required access rights R, and the
+credentials X to a dRBAC implementation.  The dRBAC module first
+authenticates the signatures and establishes validity monitors for all the
+credentials in X.  Authorization is granted if the dRBAC module can
+construct a graph (proof) ..." — :meth:`DrbacEngine.authorize` implements
+exactly that, returning the proof together with its live
+:class:`~repro.drbac.monitor.ProofMonitor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..clock import Clock, ManualClock
+from ..crypto.keys import Identity, KeyStore, PublicIdentity
+from ..errors import AuthorizationError
+from .delegation import Delegation, issue
+from .model import Attributes, EntityRef, Role, Subject
+from .monitor import ProofMonitor, RevocationDirectory
+from .proof import Proof, ProofEngine, SearchDirection
+from .query import Constraint, ConstraintEvaluator
+from .repository import DistributedRepository
+
+
+@dataclass(slots=True)
+class AuthorizationResult:
+    """A granted authorization: the proof plus its continuous monitor."""
+
+    proof: Proof
+    monitor: ProofMonitor
+
+    @property
+    def valid(self) -> bool:
+        return self.monitor.valid
+
+    def close(self) -> None:
+        self.monitor.close()
+
+
+class DrbacEngine:
+    """One dRBAC evaluation context shared by a scenario.
+
+    Holds the key store (simulated PKI), the identity directory, the
+    distributed repository, and the revocation directory.  Guards
+    (:mod:`repro.psf.guard`) each wrap one engine entity for their domain.
+    """
+
+    def __init__(
+        self,
+        *,
+        key_store: KeyStore | None = None,
+        key_bits: int | None = None,
+        clock: Clock | None = None,
+        verify_signatures: bool = True,
+    ) -> None:
+        # `is None` check: an empty KeyStore is falsy (it has __len__),
+        # so `or` would silently discard a caller-provided store.
+        if key_store is None:
+            key_store = KeyStore(key_bits=key_bits) if key_bits else KeyStore()
+        self.key_store = key_store
+        self.clock = clock if clock is not None else ManualClock()
+        self.repository = DistributedRepository()
+        self.revocations = RevocationDirectory()
+        self._verify_signatures = verify_signatures
+
+    # -- identity management ----------------------------------------------
+
+    def identity(self, name: str) -> Identity:
+        """The full identity (with private key) for an entity name."""
+        return self.key_store.identity(name)
+
+    def public_identity(self, name: str) -> PublicIdentity:
+        return self.key_store.public(name)
+
+    def _identity_directory(self) -> dict[str, PublicIdentity]:
+        return {
+            name: self.key_store.public(name)
+            for name in self.key_store.known_names()
+        }
+
+    # -- credential issuing -------------------------------------------------
+
+    def delegate(
+        self,
+        issuer: str,
+        subject: Subject | str,
+        role: Role | str,
+        *,
+        assignment: bool = False,
+        attributes: Attributes | None = None,
+        expires_at: float | None = None,
+        requires_monitoring: bool = False,
+        publish: bool = True,
+    ) -> Delegation:
+        """Issue (and by default publish) a signed delegation.
+
+        String arguments are parsed: a ``subject`` string naming a known
+        entity becomes an :class:`EntityRef`; otherwise dotted strings are
+        roles.  ``role`` strings always parse as roles.
+        """
+        if isinstance(role, str):
+            role = Role.parse(role)
+        if isinstance(subject, str):
+            subject = self._parse_subject(subject)
+        delegation = issue(
+            self.identity(issuer),
+            subject,
+            role,
+            assignment=assignment,
+            attributes=attributes,
+            expires_at=expires_at,
+            requires_monitoring=requires_monitoring,
+        )
+        if publish:
+            self.repository.publish(delegation)
+        return delegation
+
+    def _parse_subject(self, text: str) -> Subject:
+        if text in self.key_store or "." not in text:
+            return EntityRef(text)
+        return Role.parse(text)
+
+    def revoke(self, delegation: Delegation) -> None:
+        """Revoke a credential at its home; live monitors fire."""
+        self.revocations.revoke(delegation)
+
+    # -- authorization -------------------------------------------------------
+
+    def proof_engine(self) -> ProofEngine:
+        return ProofEngine(
+            self._identity_directory(),
+            self.revocations,
+            now=self.clock.now(),
+            verify_signatures=self._verify_signatures,
+        )
+
+    def find_proof(
+        self,
+        subject: Subject | str,
+        role: Role | str,
+        credentials: Iterable[Delegation] | None = None,
+        *,
+        required_attributes: Attributes | None = None,
+        direction: SearchDirection = "regression",
+    ) -> Optional[Proof]:
+        """Search for a proof; harvests from the repository when no
+        explicit credential set is presented."""
+        if isinstance(role, str):
+            role = Role.parse(role)
+        if isinstance(subject, str):
+            subject = self._parse_subject(subject)
+        if credentials is None:
+            credentials = self.repository.collect(subject, role)
+        return self.proof_engine().find_proof(
+            subject,
+            role,
+            credentials,
+            required_attributes=required_attributes,
+            direction=direction,
+        )
+
+    def authorize(
+        self,
+        subject: Subject | str,
+        role: Role | str,
+        credentials: Iterable[Delegation] | None = None,
+        *,
+        required_attributes: Attributes | None = None,
+    ) -> AuthorizationResult:
+        """Authorize or raise, establishing validity monitors on success."""
+        proof = self.find_proof(
+            subject, role, credentials, required_attributes=required_attributes
+        )
+        if proof is None:
+            raise AuthorizationError(
+                f"no proof that {subject} holds {role}"
+                + (
+                    f" with {required_attributes}"
+                    if required_attributes
+                    else ""
+                )
+            )
+        monitor = ProofMonitor(proof.all_delegations(), self.revocations)
+        return AuthorizationResult(proof=proof, monitor=monitor)
+
+    def evaluator(self) -> ConstraintEvaluator:
+        return ConstraintEvaluator(self.proof_engine())
+
+    def is_a(
+        self,
+        subject: Subject | str,
+        constraint: Constraint | str,
+        credentials: Iterable[Delegation] | None = None,
+    ) -> Optional[Proof]:
+        """The paper's "is X a Y?" query form."""
+        if isinstance(constraint, str):
+            constraint = Constraint.parse(constraint)
+        if isinstance(subject, str):
+            subject = self._parse_subject(subject)
+        if credentials is None:
+            credentials = self.repository.collect(subject, constraint.role)
+        return self.evaluator().is_a(subject, constraint, credentials)

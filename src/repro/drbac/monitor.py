@@ -1,0 +1,169 @@
+"""Online validity monitoring and revocation (Section 3.1).
+
+"A dRBAC credential ... may additionally require online validation
+monitoring from an authorized 'home' which is aware of any revocation of
+the delegation."
+
+Each home entity runs a :class:`RevocationAuthority`.  Verifiers attach
+:class:`ValidityMonitor` subscriptions per credential; a
+:class:`ProofMonitor` aggregates the monitors for every credential in a
+proof graph and fires callbacks the moment any of them is revoked — the
+mechanism Switchboard relies on for *continuous* authorization (§4.3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .delegation import Delegation
+
+RevocationCallback = Callable[[str], None]
+"""Called with the revoked credential id."""
+
+
+class RevocationAuthority:
+    """Per-home revocation state with push notifications to subscribers."""
+
+    def __init__(self, home: str) -> None:
+        self.home = home
+        self._revoked: set[str] = set()
+        self._subscribers: dict[str, list[RevocationCallback]] = defaultdict(list)
+
+    def revoke(self, credential_id: str) -> None:
+        """Revoke a credential and notify every active monitor for it."""
+        if credential_id in self._revoked:
+            return
+        self._revoked.add(credential_id)
+        for callback in list(self._subscribers.get(credential_id, ())):
+            callback(credential_id)
+
+    def is_revoked(self, credential_id: str) -> bool:
+        return credential_id in self._revoked
+
+    def subscribe(self, credential_id: str, callback: RevocationCallback) -> Callable[[], None]:
+        """Register a callback for one credential; returns an unsubscribe."""
+        self._subscribers[credential_id].append(callback)
+        if credential_id in self._revoked:
+            # Late subscriber: deliver the revocation immediately.
+            callback(credential_id)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers[credential_id].remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    @property
+    def revoked_count(self) -> int:
+        return len(self._revoked)
+
+
+class RevocationDirectory:
+    """Locates the :class:`RevocationAuthority` for each home entity.
+
+    Simulates the "authorized home" lookup: in the real system the home is
+    a network service; here it is an in-process registry shared by the
+    scenario.
+    """
+
+    def __init__(self) -> None:
+        self._authorities: dict[str, RevocationAuthority] = {}
+
+    def authority(self, home: str) -> RevocationAuthority:
+        auth = self._authorities.get(home)
+        if auth is None:
+            auth = RevocationAuthority(home)
+            self._authorities[home] = auth
+        return auth
+
+    def is_revoked(self, delegation: Delegation) -> bool:
+        auth = self._authorities.get(delegation.home_entity)
+        return bool(auth and auth.is_revoked(delegation.credential_id))
+
+    def revoke(self, delegation: Delegation) -> None:
+        self.authority(delegation.home_entity).revoke(delegation.credential_id)
+
+
+@dataclass
+class ValidityMonitor:
+    """An established online monitor for a single credential."""
+
+    delegation: Delegation
+    _unsubscribe: Callable[[], None] = field(repr=False, default=lambda: None)
+    revoked: bool = False
+
+    def close(self) -> None:
+        self._unsubscribe()
+
+
+class ProofMonitor:
+    """Watches every credential used by a proof.
+
+    The monitor is *valid* until any watched credential is revoked; at that
+    moment every registered callback fires exactly once with the offending
+    credential id.  Expiry is checked on demand via :meth:`check_expiry`
+    because expiry is a function of the clock, not an event.
+    """
+
+    def __init__(
+        self,
+        delegations: list[Delegation],
+        directory: RevocationDirectory,
+    ) -> None:
+        self._delegations = list(delegations)
+        self._callbacks: list[RevocationCallback] = []
+        self._invalidated_by: str | None = None
+        self._monitors: list[ValidityMonitor] = []
+        for delegation in self._delegations:
+            authority = directory.authority(delegation.home_entity)
+            monitor = ValidityMonitor(delegation)
+            monitor._unsubscribe = authority.subscribe(
+                delegation.credential_id, self._on_revoked
+            )
+            self._monitors.append(monitor)
+
+    @property
+    def valid(self) -> bool:
+        return self._invalidated_by is None
+
+    @property
+    def invalidated_by(self) -> str | None:
+        return self._invalidated_by
+
+    @property
+    def watched_credentials(self) -> list[str]:
+        return [d.credential_id for d in self._delegations]
+
+    def on_invalidated(self, callback: RevocationCallback) -> None:
+        """Register a callback; fires immediately if already invalid."""
+        self._callbacks.append(callback)
+        if self._invalidated_by is not None:
+            callback(self._invalidated_by)
+
+    def check_expiry(self, now: float) -> bool:
+        """Invalidate the proof if any credential has expired at ``now``.
+
+        Returns the (possibly updated) validity.
+        """
+        if self._invalidated_by is not None:
+            return False
+        for delegation in self._delegations:
+            if delegation.is_expired(now):
+                self._on_revoked(delegation.credential_id)
+                return False
+        return True
+
+    def close(self) -> None:
+        for monitor in self._monitors:
+            monitor.close()
+
+    def _on_revoked(self, credential_id: str) -> None:
+        if self._invalidated_by is not None:
+            return
+        self._invalidated_by = credential_id
+        for callback in list(self._callbacks):
+            callback(credential_id)

@@ -1,0 +1,397 @@
+"""Proof-graph construction: the dRBAC authorization decision procedure.
+
+Section 3.1: "Authorization is granted if the dRBAC module can construct a
+graph (proof) from valid and authenticated credentials in X that 'proves'
+that S possesses the rights required by R."
+
+Semantics implemented here:
+
+* **Membership.** ``S`` holds role ``R`` iff there is a chain of valid
+  delegations ``d1 .. dk`` with ``subject(d1) = S``, ``role(di) =
+  subject(d(i+1))`` and ``role(dk) = R``.
+* **Issuer authority.** A *self-certifying* delegation (issuer owns the
+  role) is usable on signature alone.  A *third-party* delegation is usable
+  only when its issuer provably holds the **right of assignment**
+  (``Entity.Role'``) for that role — established either directly by the
+  role owner via an *assignment* delegation, or transitively through
+  further assignment delegations / role memberships.
+* **Attenuation.** Valued attributes meet (intersect / min) along the
+  membership chain; a chain whose attributes become empty is unusable.
+
+Two search strategies are provided (mirroring Sekitei's regression and
+progression, and ablated by ``benchmarks/bench_proof_search.py``):
+*regression* walks backward from the goal role; *progression* walks forward
+from the subject.  Both return identical authorization decisions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Optional
+
+from ..crypto.keys import PublicIdentity
+from .delegation import Delegation, DelegationType
+from .model import (
+    Attributes,
+    EntityRef,
+    IncompatibleAttributes,
+    Role,
+    Subject,
+    attributes_satisfy,
+    meet_attributes,
+    subject_key,
+)
+from .monitor import RevocationDirectory
+
+SearchDirection = Literal["regression", "progression"]
+
+
+@dataclass(slots=True)
+class Proof:
+    """A successful authorization proof.
+
+    ``chain`` is the membership chain from the subject to the goal role, in
+    subject-to-goal order.  ``support`` holds the assignment-right evidence
+    used to validate third-party issuers.  ``attributes`` is the attenuated
+    attribute map effective for the authorized subject.
+    """
+
+    subject: Subject
+    role: Role
+    chain: list[Delegation]
+    support: list[Delegation] = field(default_factory=list)
+    attributes: Attributes = field(default_factory=dict)
+    edges_visited: int = 0
+
+    def all_delegations(self) -> list[Delegation]:
+        """Every credential the proof depends on (chain + support), deduped."""
+        seen: dict[str, Delegation] = {}
+        for delegation in self.chain + self.support:
+            seen[delegation.credential_id] = delegation
+        return list(seen.values())
+
+    def __str__(self) -> str:
+        steps = " ; ".join(str(d) for d in self.chain)
+        return f"{subject_key(self.subject)} |- {self.role} via {steps}"
+
+
+class ProofEngine:
+    """Searches credential sets for authorization proofs.
+
+    Args:
+        identities: directory resolving entity names to public identities
+            for signature verification.  Credentials from unknown issuers
+            are unusable (their authenticity cannot be established).
+        revocations: revocation state; revoked credentials are unusable.
+        now: evaluation time for expiry checks.
+    """
+
+    def __init__(
+        self,
+        identities: dict[str, PublicIdentity],
+        revocations: RevocationDirectory | None = None,
+        *,
+        now: float = 0.0,
+        verify_signatures: bool = True,
+    ) -> None:
+        self._identities = identities
+        self._revocations = revocations or RevocationDirectory()
+        self._now = now
+        self._verify_signatures = verify_signatures
+        self.edges_visited = 0
+
+    # -- public API ------------------------------------------------------
+
+    def find_proof(
+        self,
+        subject: Subject,
+        role: Role,
+        credentials: Iterable[Delegation],
+        *,
+        required_attributes: Attributes | None = None,
+        direction: SearchDirection = "regression",
+    ) -> Optional[Proof]:
+        """Return a proof that ``subject`` holds ``role``, or ``None``.
+
+        ``required_attributes`` restricts acceptable chains to those whose
+        attenuated attributes cover the requirement (e.g. a node that must
+        be ``Secure={true}`` with ``Trust`` at least ``(5,10)``).
+        """
+        valid = [c for c in credentials if self._usable(c)]
+        index = _CredentialIndex(valid)
+        self.edges_visited = 0
+        if direction == "regression":
+            chain = self._regress(subject, role, index, stack=set())
+        elif direction == "progression":
+            chain = self._progress(subject, role, index)
+        else:  # pragma: no cover - guarded by Literal type
+            raise ValueError(f"unknown search direction: {direction}")
+        if chain is None:
+            return None
+        try:
+            attributes = _chain_attributes(chain)
+        except IncompatibleAttributes:
+            # Progression ignores attributes while searching; fall back to
+            # an exhaustive pass for a chain whose attributes combine.
+            chain = None
+            for candidate in self._regress_all(subject, role, index, stack=set()):
+                try:
+                    attributes = _chain_attributes(candidate)
+                except IncompatibleAttributes:
+                    continue
+                chain = candidate
+                break
+            if chain is None:
+                return None
+        if required_attributes and not attributes_satisfy(attributes, required_attributes):
+            # Attribute-constrained retry: enumerate chains exhaustively
+            # until one's attenuated attributes cover the requirement.
+            # (Attributes only attenuate, so prefixes cannot be pruned —
+            # a weak-looking prefix may still beat a strong-looking one.)
+            chain = None
+            for candidate in self._regress_all(subject, role, index, stack=set()):
+                try:
+                    candidate_attributes = _chain_attributes(candidate)
+                except IncompatibleAttributes:
+                    continue
+                if attributes_satisfy(candidate_attributes, required_attributes):
+                    chain = candidate
+                    attributes = candidate_attributes
+                    break
+            if chain is None:
+                return None
+        support = self._collect_support(chain, index)
+        return Proof(
+            subject=subject,
+            role=role,
+            chain=chain,
+            support=support,
+            attributes=attributes,
+            edges_visited=self.edges_visited,
+        )
+
+    def holds_role(
+        self,
+        subject: Subject,
+        role: Role,
+        credentials: Iterable[Delegation],
+        *,
+        required_attributes: Attributes | None = None,
+    ) -> bool:
+        return (
+            self.find_proof(
+                subject, role, credentials, required_attributes=required_attributes
+            )
+            is not None
+        )
+
+    # -- validity --------------------------------------------------------
+
+    def _usable(self, delegation: Delegation) -> bool:
+        """Authentic, unexpired, unrevoked — the per-credential gate."""
+        if delegation.is_expired(self._now):
+            return False
+        if self._revocations.is_revoked(delegation):
+            return False
+        if self._verify_signatures:
+            identity = self._identities.get(delegation.issuer)
+            if identity is None or not delegation.verify_signature(identity):
+                return False
+        return True
+
+    # -- issuer authority --------------------------------------------------
+
+    def _issuer_authorized(
+        self,
+        delegation: Delegation,
+        index: "_CredentialIndex",
+        stack: set[tuple[str, str, str]],
+    ) -> bool:
+        """Check the issuer may administer the delegation's role."""
+        if delegation.issuer == delegation.role.owner:
+            return True
+        return (
+            self._assignment_chain(
+                EntityRef(delegation.issuer), delegation.role, index, stack
+            )
+            is not None
+        )
+
+    def _assignment_chain(
+        self,
+        holder: Subject,
+        role: Role,
+        index: "_CredentialIndex",
+        stack: set[tuple[str, str, str]],
+    ) -> Optional[list[Delegation]]:
+        """Prove ``holder`` possesses the right of assignment for ``role``."""
+        goal = (subject_key(holder), str(role), "assign")
+        if goal in stack:
+            return None
+        stack = stack | {goal}
+        for delegation in index.assignments_for(role):
+            self.edges_visited += 1
+            if not self._issuer_authorized(delegation, index, stack):
+                continue
+            if subject_key(delegation.subject) == subject_key(holder):
+                return [delegation]
+            if isinstance(delegation.subject, Role):
+                membership = self._regress(holder, delegation.subject, index, stack)
+                if membership is not None:
+                    return membership + [delegation]
+        return None
+
+    # -- regression (backward from the goal role) -------------------------
+
+    def _regress(
+        self,
+        subject: Subject,
+        role: Role,
+        index: "_CredentialIndex",
+        stack: set[tuple[str, str, str]],
+    ) -> Optional[list[Delegation]]:
+        """First valid chain, goal-directed (the satisficing fast path)."""
+        goal = (subject_key(subject), str(role), "member")
+        if goal in stack:
+            return None
+        stack = stack | {goal}
+        for delegation in index.granting(role):
+            self.edges_visited += 1
+            if delegation.grants_assignment_right:
+                continue  # assignment credentials do not convey membership
+            if not self._issuer_authorized(delegation, index, stack):
+                continue
+            if subject_key(delegation.subject) == subject_key(subject):
+                chain = [delegation]
+            elif isinstance(delegation.subject, Role):
+                prefix = self._regress(subject, delegation.subject, index, stack)
+                if prefix is None:
+                    continue
+                chain = prefix + [delegation]
+            else:
+                continue
+            try:
+                _chain_attributes(chain)
+            except IncompatibleAttributes:
+                continue
+            return chain
+        return None
+
+    def _regress_all(
+        self,
+        subject: Subject,
+        role: Role,
+        index: "_CredentialIndex",
+        stack: set[tuple[str, str, str]],
+    ):
+        """Yield every acyclic membership chain from ``subject`` to ``role``."""
+        goal = (subject_key(subject), str(role), "member")
+        if goal in stack:
+            return
+        stack = stack | {goal}
+        for delegation in index.granting(role):
+            self.edges_visited += 1
+            if delegation.grants_assignment_right:
+                continue
+            if not self._issuer_authorized(delegation, index, stack):
+                continue
+            if subject_key(delegation.subject) == subject_key(subject):
+                yield [delegation]
+            elif isinstance(delegation.subject, Role):
+                for prefix in self._regress_all(
+                    subject, delegation.subject, index, stack
+                ):
+                    yield prefix + [delegation]
+
+    # -- progression (forward from the subject) ---------------------------
+
+    def _progress(
+        self,
+        subject: Subject,
+        role: Role,
+        index: "_CredentialIndex",
+    ) -> Optional[list[Delegation]]:
+        """Dijkstra-flavoured forward BFS carrying back-pointers."""
+        origin = subject_key(subject)
+        parents: dict[str, tuple[str, Delegation]] = {}
+        frontier: deque[str] = deque([origin])
+        reached: set[str] = {origin}
+        while frontier:
+            key = frontier.popleft()
+            for delegation in index.from_subject_key(key):
+                self.edges_visited += 1
+                if delegation.grants_assignment_right:
+                    continue
+                if not self._issuer_authorized(delegation, index, set()):
+                    continue
+                role_key = str(delegation.role)
+                if role_key in reached:
+                    continue
+                reached.add(role_key)
+                parents[role_key] = (key, delegation)
+                if role_key == str(role):
+                    return _walk_back(origin, role_key, parents)
+                frontier.append(role_key)
+        return None
+
+    # -- support collection ------------------------------------------------
+
+    def _collect_support(
+        self, chain: list[Delegation], index: "_CredentialIndex"
+    ) -> list[Delegation]:
+        """Gather the assignment-right evidence for third-party links."""
+        support: dict[str, Delegation] = {}
+        for delegation in chain:
+            if delegation.delegation_type is not DelegationType.THIRD_PARTY:
+                continue
+            evidence = self._assignment_chain(
+                EntityRef(delegation.issuer), delegation.role, index, set()
+            )
+            for item in evidence or ():
+                support[item.credential_id] = item
+        return list(support.values())
+
+
+def _walk_back(
+    origin: str, goal: str, parents: dict[str, tuple[str, Delegation]]
+) -> list[Delegation]:
+    chain: list[Delegation] = []
+    key = goal
+    while key != origin:
+        key, delegation = parents[key]
+        chain.append(delegation)
+    chain.reverse()
+    return chain
+
+
+def _chain_attributes(chain: list[Delegation]) -> Attributes:
+    attributes: Attributes = {}
+    for delegation in chain:
+        attributes = meet_attributes(attributes, delegation.attributes)
+    return attributes
+
+
+class _CredentialIndex:
+    """Fast lookups over a validated credential set."""
+
+    def __init__(self, credentials: list[Delegation]) -> None:
+        self._granting: dict[str, list[Delegation]] = defaultdict(list)
+        self._assignments: dict[str, list[Delegation]] = defaultdict(list)
+        self._from_subject: dict[str, list[Delegation]] = defaultdict(list)
+        for delegation in credentials:
+            role_key = str(delegation.role)
+            if delegation.grants_assignment_right:
+                self._assignments[role_key].append(delegation)
+            else:
+                self._granting[role_key].append(delegation)
+            self._from_subject[subject_key(delegation.subject)].append(delegation)
+
+    def granting(self, role: Role) -> list[Delegation]:
+        return self._granting.get(str(role), [])
+
+    def assignments_for(self, role: Role) -> list[Delegation]:
+        return self._assignments.get(str(role), [])
+
+    def from_subject_key(self, key: str) -> list[Delegation]:
+        return self._from_subject.get(key, [])

@@ -1,0 +1,93 @@
+"""Constraint queries: using credentials as statements (Section 3.2).
+
+"A dRBAC credential that grants the permissions associated with an Object
+role to a Subject role can also be interpreted as the statement that 'it is
+true that Subject **is an** Object'. ... Constraints are specified in terms
+of dRBAC system queries: 'is X a Y?'"
+
+This is the mechanism PSF uses to translate *network-level* properties
+(``Comp.SD.PC`` is a ``Dell.SuSe``) into *application-level* properties
+(``Dell.SuSe`` is a ``Mail.Node`` with ``Secure={true,false}``
+``Trust=(0,7)``) without either domain knowing the other's vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .delegation import Delegation
+from .model import Attributes, Role, Subject, parse_attribute
+from .proof import Proof, ProofEngine
+
+
+@dataclass(frozen=True, slots=True)
+class Constraint:
+    """A requirement "X must possess role Y (with attributes ...)"."""
+
+    role: Role
+    required_attributes: Attributes = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.required_attributes is None:
+            object.__setattr__(self, "required_attributes", {})
+
+    @staticmethod
+    def parse(text: str) -> "Constraint":
+        """Parse ``"Mail.Node with Secure={true} Trust=(5,10)"``."""
+        head, _, tail = text.partition(" with ")
+        role = Role.parse(head.strip())
+        attributes: Attributes = {}
+        if tail:
+            for token in tail.split():
+                name, _, value = token.partition("=")
+                if not value:
+                    raise ValueError(f"malformed attribute token: {token!r}")
+                attributes[name] = parse_attribute(value)
+        return Constraint(role=role, required_attributes=attributes)
+
+    def __str__(self) -> str:
+        attrs = ""
+        if self.required_attributes:
+            attrs = " with " + " ".join(
+                f"{k}={v}" for k, v in sorted(self.required_attributes.items())
+            )
+        return f"{self.role}{attrs}"
+
+
+class ConstraintEvaluator:
+    """Answers "is X a Y?" over a credential set via the proof engine."""
+
+    def __init__(self, engine: ProofEngine) -> None:
+        self._engine = engine
+
+    def is_a(
+        self,
+        subject: Subject,
+        constraint: Constraint,
+        credentials: Iterable[Delegation],
+    ) -> Optional[Proof]:
+        """Return the proof that ``subject`` satisfies ``constraint``.
+
+        None means the constraint cannot be satisfied with the presented
+        credentials (either no role chain exists or the attenuated
+        attributes are too weak).
+        """
+        return self._engine.find_proof(
+            subject,
+            constraint.role,
+            credentials,
+            required_attributes=constraint.required_attributes or None,
+        )
+
+    def satisfies_all(
+        self,
+        subject: Subject,
+        constraints: list[Constraint],
+        credentials: Iterable[Delegation],
+    ) -> bool:
+        credentials = list(credentials)
+        return all(
+            self.is_a(subject, constraint, credentials) is not None
+            for constraint in constraints
+        )

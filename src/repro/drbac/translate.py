@@ -1,0 +1,158 @@
+"""Policy translation between native domain policies and dRBAC (§6).
+
+"One of the main assumptions made in the Partitionable Services framework
+is that all domains are using dRBAC as their authorization policy
+implementation.  In order to allow each domain to freely choose the policy
+implementation (e.g. roles, capabilities), the framework should provide a
+service able to translate between that implementation and dRBAC."
+
+This module implements that service — listed as future work in the paper.
+A domain keeps its native policy (capability tokens, or Unix-style group
+ACLs) and runs a :class:`PolicyTranslator` that mirrors native grants into
+signed dRBAC delegations under mapping rules, and *revokes* the mirrored
+credentials when the native grant disappears, keeping both worlds in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol
+
+from .delegation import Delegation
+from .engine import DrbacEngine
+from .model import EntityRef, Role
+
+
+class ForeignPolicy(Protocol):
+    """A domain's native authorization system, as seen by the translator.
+
+    The translator only needs an enumeration of current grants: pairs of
+    (principal, native permission name).
+    """
+
+    def grants(self) -> set[tuple[str, str]]:  # pragma: no cover - protocol
+        ...
+
+
+class CapabilityPolicy:
+    """A capability-token policy: principals hold named capabilities."""
+
+    def __init__(self) -> None:
+        self._capabilities: dict[str, set[str]] = {}
+
+    def grant(self, principal: str, capability: str) -> None:
+        self._capabilities.setdefault(principal, set()).add(capability)
+
+    def revoke(self, principal: str, capability: str) -> None:
+        self._capabilities.get(principal, set()).discard(capability)
+
+    def holds(self, principal: str, capability: str) -> bool:
+        return capability in self._capabilities.get(principal, ())
+
+    def grants(self) -> set[tuple[str, str]]:
+        return {
+            (principal, capability)
+            for principal, capabilities in self._capabilities.items()
+            for capability in capabilities
+        }
+
+
+class AclGroupPolicy:
+    """A Unix-flavoured policy: users belong to groups; groups carry
+    permissions.  The translator sees the flattened (user, permission)
+    relation."""
+
+    def __init__(self) -> None:
+        self._members: dict[str, set[str]] = {}
+        self._permissions: dict[str, set[str]] = {}
+
+    def add_member(self, group: str, user: str) -> None:
+        self._members.setdefault(group, set()).add(user)
+
+    def remove_member(self, group: str, user: str) -> None:
+        self._members.get(group, set()).discard(user)
+
+    def allow(self, group: str, permission: str) -> None:
+        self._permissions.setdefault(group, set()).add(permission)
+
+    def disallow(self, group: str, permission: str) -> None:
+        self._permissions.get(group, set()).discard(permission)
+
+    def grants(self) -> set[tuple[str, str]]:
+        flat: set[tuple[str, str]] = set()
+        for group, users in self._members.items():
+            for permission in self._permissions.get(group, ()):
+                for user in users:
+                    flat.add((user, permission))
+        return flat
+
+
+@dataclass(slots=True)
+class TranslationRule:
+    """Maps one native permission name onto a dRBAC role."""
+
+    native_permission: str
+    role: Role
+
+
+@dataclass
+class SyncReport:
+    issued: list[Delegation] = field(default_factory=list)
+    revoked: list[str] = field(default_factory=list)
+    unchanged: int = 0
+
+
+class PolicyTranslator:
+    """Mirrors a foreign policy into dRBAC credentials, incrementally.
+
+    The translator signs on behalf of ``domain`` (so the mirrored
+    credentials are self-certifying for roles in that namespace) and
+    tracks what it issued; :meth:`sync` computes the diff against the
+    native policy's current grants, issuing new delegations and revoking
+    stale ones through the engine's revocation directory — which means
+    live :class:`~repro.drbac.monitor.ProofMonitor`s (and therefore open
+    Switchboard channels) react to native-policy changes automatically.
+    """
+
+    def __init__(
+        self,
+        engine: DrbacEngine,
+        domain: str,
+        policy: ForeignPolicy,
+        rules: Iterable[TranslationRule],
+    ) -> None:
+        self.engine = engine
+        self.domain = domain
+        self.policy = policy
+        self.rules = {rule.native_permission: rule.role for rule in rules}
+        self._mirrored: dict[tuple[str, str], Delegation] = {}
+        engine.identity(domain)
+
+    def sync(self) -> SyncReport:
+        """Bring the dRBAC mirror up to date with the native policy."""
+        report = SyncReport()
+        current = {
+            (principal, permission)
+            for principal, permission in self.policy.grants()
+            if permission in self.rules
+        }
+        # New native grants -> issue mirrored delegations.
+        for key in sorted(current - set(self._mirrored)):
+            principal, permission = key
+            delegation = self.engine.delegate(
+                self.domain,
+                EntityRef(principal),
+                self.rules[permission],
+            )
+            self._mirrored[key] = delegation
+            report.issued.append(delegation)
+        # Vanished native grants -> revoke the mirror.
+        for key in sorted(set(self._mirrored) - current):
+            delegation = self._mirrored.pop(key)
+            self.engine.revoke(delegation)
+            report.revoked.append(delegation.credential_id)
+        report.unchanged = len(current & set(self._mirrored)) - len(report.issued)
+        return report
+
+    def mirrored_count(self) -> int:
+        return len(self._mirrored)

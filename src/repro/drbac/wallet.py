@@ -1,0 +1,47 @@
+"""Credential wallets: the per-principal credential set.
+
+Clients, components, and nodes each carry a wallet of delegations they can
+present during authorization ("the component ... presents a chain of
+credentials", §3.3).  Deployed components "receive their own set of
+credentials" — :meth:`Wallet.grant` models the deployment infrastructure
+issuing those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .delegation import Delegation
+
+
+@dataclass
+class Wallet:
+    """An ordered, deduplicated credential set owned by one principal."""
+
+    owner: str
+    _credentials: dict[str, Delegation] = field(default_factory=dict)
+
+    def grant(self, delegation: Delegation) -> None:
+        """Add a credential (idempotent by credential id)."""
+        self._credentials[delegation.credential_id] = delegation
+
+    def grant_all(self, delegations: list[Delegation]) -> None:
+        for delegation in delegations:
+            self.grant(delegation)
+
+    def remove(self, credential_id: str) -> bool:
+        """Drop a credential; returns whether it was present."""
+        return self._credentials.pop(credential_id, None) is not None
+
+    def credentials(self) -> list[Delegation]:
+        """The presentable credential list (insertion order)."""
+        return list(self._credentials.values())
+
+    def __len__(self) -> int:
+        return len(self._credentials)
+
+    def __contains__(self, credential_id: str) -> bool:
+        return credential_id in self._credentials
+
+    def __iter__(self):
+        return iter(self._credentials.values())

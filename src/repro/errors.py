@@ -1,0 +1,98 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Every package raises subclasses of :class:`ReproError` so callers can catch
+one base type at the framework boundary while tests can assert on the
+specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CryptoError(ReproError):
+    """Raised for failures in the cryptographic substrate."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed to verify (forgery, tampering, or wrong key)."""
+
+
+class KeyExchangeError(CryptoError):
+    """A Diffie-Hellman key exchange received invalid parameters."""
+
+
+class CipherError(CryptoError):
+    """Authenticated decryption failed (tampering or truncation)."""
+
+
+class DrbacError(ReproError):
+    """Base class for dRBAC failures."""
+
+
+class CredentialError(DrbacError):
+    """A delegation is malformed, expired, or its signature is invalid."""
+
+
+class AuthorizationError(DrbacError):
+    """No valid proof graph authorizes the requested role."""
+
+
+class RevocationError(DrbacError):
+    """A credential in an active proof has been revoked."""
+
+
+class ViewError(ReproError):
+    """Base class for view specification and generation failures."""
+
+
+class ViewSpecError(ViewError):
+    """The XML/structured view specification is malformed."""
+
+
+class ViewGenerationError(ViewError):
+    """VIG could not generate a correct view class.
+
+    Mirrors the paper's behaviour: "If VIG is unable to generate correct
+    bytecode (e.g. a new method uses a variable that is not defined in the
+    original object or the method), it triggers an error that indicates how
+    the XML rules can be rectified."
+    """
+
+
+class SwitchboardError(ReproError):
+    """Base class for Switchboard channel failures."""
+
+
+class HandshakeError(SwitchboardError):
+    """Channel establishment failed (authentication or authorization)."""
+
+
+class ChannelClosedError(SwitchboardError):
+    """An operation was attempted on a closed or revoked channel."""
+
+
+class ReplayError(SwitchboardError):
+    """A message with a stale or repeated sequence number arrived."""
+
+
+class PsfError(ReproError):
+    """Base class for Partitionable Services Framework failures."""
+
+
+class PlanningError(PsfError):
+    """The planner could not find a deployment satisfying the request."""
+
+
+class DeploymentError(PsfError):
+    """Instantiating, linking, or executing a planned component failed."""
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class LinkDownError(NetworkError):
+    """A message was sent over a link that is down or does not exist."""

@@ -1,0 +1,140 @@
+"""The mail application as a declarative PSF document (§2.1 element #1).
+
+The same registration that :func:`repro.mail.scenario.register_components`
+performs programmatically, expressed in the XML application-specification
+language — demonstrating that the whole Table 2 / Table 3b / Table 4
+application is registrable declaratively.  ``register_components_declaratively``
+loads it, binding the factories and classes XML cannot carry.
+"""
+
+from __future__ import annotations
+
+from ..psf.appspec import LoadReport, load_application
+from ..psf.framework import PSF
+from .client import MailClient
+from .crypto_components import Decryptor, Encryptor
+from .server import MailServer
+from .views_specs import VIEW_MAIL_CLIENT_PARTNER_XML
+
+# The partner view is spliced in verbatim from Table 3(b); the other view
+# documents inline their (shorter) definitions.
+MAIL_APP_XML = f"""
+<Application name="mail">
+  <Interfaces>
+    <Interface name="MailI">
+      <Method>fetchMail(user)</Method>
+      <Method>sendMail(mes)</Method>
+      <Method>listAccounts()</Method>
+    </Interface>
+    <Interface name="SecMailI">
+      <Method>fetchMailEnc(user)</Method>
+      <Method>sendMailEnc(blob)</Method>
+      <Method>listAccountsEnc()</Method>
+    </Interface>
+    <Interface name="MessageI">
+      <Method>sendMessage(mes)</Method>
+      <Method>receiveMessages()</Method>
+    </Interface>
+    <Interface name="AddressI">
+      <Method>getPhone(name)</Method>
+      <Method>getEmail(name)</Method>
+    </Interface>
+    <Interface name="NotesI">
+      <Method>addNote(note)</Method>
+      <Method>addMeeting(name)</Method>
+    </Interface>
+  </Interfaces>
+  <Components>
+    <Component name="MailServer" role="Mail.MailServer" cpu="50" deployable="false">
+      <Implements interface="MailI"/>
+      <NodeConstraint>Mail.Node with Secure={{true}} Trust=(0,5)</NodeConstraint>
+    </Component>
+    <Component name="Encryptor" role="Mail.Encryptor" cpu="30">
+      <Property name="bandwidth_transparent" value="true"/>
+      <Implements interface="SecMailI">
+        <Property name="encrypted" value="true"/>
+      </Implements>
+      <Requires interface="MailI">
+        <Property name="privacy" value="true"/>
+        <Property name="channel" value="rmi"/>
+      </Requires>
+      <NodeConstraint>Mail.Node</NodeConstraint>
+    </Component>
+    <Component name="Decryptor" role="Mail.Decryptor" cpu="30">
+      <Property name="bandwidth_transparent" value="true"/>
+      <Implements interface="MailI"/>
+      <Requires interface="SecMailI">
+        <Property name="privacy" value="true"/>
+        <Property name="channel" value="rmi"/>
+      </Requires>
+      <NodeConstraint>Mail.Node</NodeConstraint>
+    </Component>
+    <Component name="MailClient" role="Mail.MailClient" cpu="10">
+      <Implements interface="MessageI"/>
+      <Implements interface="AddressI"/>
+      <Implements interface="NotesI"/>
+      <NodeConstraint>Mail.Node</NodeConstraint>
+    </Component>
+  </Components>
+  <Views>
+    <View name="ViewMailServer" component="MailServer" cpu="20" role="Mail.ViewMailServer">
+      <Represents name="MailServer"/>
+      <Restricts>
+        <Interface name="MailI" type="local"/>
+      </Restricts>
+      <Replicates_Fields>
+        <Field name="mailboxes"/>
+        <Field name="directory"/>
+        <Field name="delivered"/>
+      </Replicates_Fields>
+    </View>
+    <View name="ViewMailClient_Member" component="MailClient" cpu="5">
+      <Represents name="MailClient"/>
+      <Restricts>
+        <Interface name="MessageI" type="local"/>
+        <Interface name="AddressI" type="local"/>
+        <Interface name="NotesI" type="local"/>
+      </Restricts>
+    </View>
+    {VIEW_MAIL_CLIENT_PARTNER_XML.strip().replace('<View name="ViewMailClient_Partner">',
+        '<View name="ViewMailClient_Partner" component="MailClient" cpu="5">')}
+    <View name="ViewMailClient_Anonymous" component="MailClient" cpu="5">
+      <Represents name="MailClient"/>
+      <Restricts>
+        <Interface name="AddressI" type="switchboard" binding="AddressI"/>
+      </Restricts>
+      <Customizes_Methods>
+        <MSign>getPhone(name)</MSign>
+        <MBody>raise PermissionError('anonymous clients may only browse the email directory')</MBody>
+      </Customizes_Methods>
+    </View>
+  </Views>
+  <Policies>
+    <Policy component="MailClient">
+      <Allow role="Comp.NY.Member" view="ViewMailClient_Member"/>
+      <Allow role="Comp.NY.Partner" view="ViewMailClient_Partner"/>
+      <Allow role="others" view="ViewMailClient_Anonymous"/>
+    </Policy>
+  </Policies>
+</Application>
+"""
+
+
+def register_components_declaratively(psf: PSF) -> LoadReport:
+    """Load the mail application from its XML document."""
+    return load_application(
+        psf.registrar,
+        MAIL_APP_XML,
+        factories={
+            "MailServer": lambda ctx: MailServer(),
+            "Encryptor": lambda ctx: Encryptor(ctx.require("MailI")),
+            "Decryptor": lambda ctx: Decryptor(ctx.require("SecMailI")),
+            "MailClient": lambda ctx: MailClient(),
+        },
+        classes={
+            "MailServer": MailServer,
+            "Encryptor": Encryptor,
+            "Decryptor": Decryptor,
+            "MailClient": MailClient,
+        },
+    )

@@ -1,0 +1,75 @@
+"""The MailServer component and its cache view (§2.2).
+
+"The main components of this application are: mail clients ..., a *mail
+server* that manages the mail accounts for all users, *view mail server*
+components that can be replicated as a cache close to the client, and
+encryption/decryption components."
+
+``MailServer`` implements ``MailI``; ``VIEW_MAIL_SERVER_SPEC`` defines the
+cache as a genuine *view* of the server: the ``mailboxes`` and
+``directory`` state is replicated into the view, and the coherence
+machinery keeps it synchronized with the origin ("PSF adapts to low
+available bandwidth by placing a *view mail server* close to the
+client").
+"""
+
+from __future__ import annotations
+
+from ..views.interfaces import InterfaceDef, MethodSig
+from ..views.spec import InterfaceRestriction, InterfaceMode, ViewSpec
+
+MailI = InterfaceDef(
+    name="MailI",
+    methods=(
+        MethodSig("fetchMail", ("user",)),
+        MethodSig("sendMail", ("mes",)),
+        MethodSig("listAccounts", ()),
+    ),
+)
+
+
+class MailServer:
+    """Central store of every user's mailbox and the shared directory."""
+
+    def __init__(self, directory: dict[str, dict] | None = None) -> None:
+        self.mailboxes: dict[str, list[dict]] = {}
+        self.directory: dict[str, dict] = dict(directory or {})
+        self.delivered = 0
+
+    # -- MailI -----------------------------------------------------------
+
+    def fetchMail(self, user: str) -> list[dict]:
+        """Return (without draining) the user's mailbox."""
+        return list(self.mailboxes.get(user, ()))
+
+    def sendMail(self, mes: dict) -> bool:
+        """Deliver a message into the recipient's mailbox."""
+        recipient = mes.get("recipient", "")
+        if not recipient:
+            return False
+        self.mailboxes.setdefault(recipient, []).append(dict(mes))
+        self.delivered += 1
+        return True
+
+    def listAccounts(self) -> list[str]:
+        return sorted(self.directory)
+
+    # -- administration ------------------------------------------------------
+
+    def create_account(self, name: str, phone: str = "", email: str = "") -> None:
+        self.mailboxes.setdefault(name, [])
+        self.directory[name] = {"name": name, "phone": phone, "email": email}
+
+
+# The cache: a hybrid object/data view of MailServer.  MailI is exposed
+# locally (the cached methods run against replicated state); the
+# ``delivered`` counter stays on the origin.  Coherence: on-demand policy
+# pulls/pushes the mailboxes + directory image around every call.
+VIEW_MAIL_SERVER_SPEC = ViewSpec(
+    name="ViewMailServer",
+    represents="MailServer",
+    interfaces=(
+        InterfaceRestriction(name="MailI", mode=InterfaceMode.LOCAL),
+    ),
+    replicated_fields=("mailboxes", "directory", "delivered"),
+)

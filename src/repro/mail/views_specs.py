@@ -1,0 +1,93 @@
+"""View specifications for the mail client (Tables 3b and 4).
+
+Three views of ``MailClient``, one per access tier:
+
+* ``ViewMailClient_Member`` — company members: full functionality, all
+  interfaces local.
+* ``ViewMailClient_Partner`` — partners (the Table 3b example): messages
+  local, notes via RMI, address book via Switchboard, and ``addMeeting``
+  "reduced to only requesting the right to set up a meeting".
+* ``ViewMailClient_Anonymous`` — everyone else: "only the right to browse
+  the email directory"; the phone directory is refused per-method,
+  demonstrating access control "down to the level of individual methods".
+"""
+
+from __future__ import annotations
+
+from ..drbac.model import Role
+from ..views.acl import ViewAccessPolicy
+from ..views.spec import (
+    FieldSpec,
+    InterfaceMode,
+    InterfaceRestriction,
+    MethodSpec,
+    ViewSpec,
+)
+
+VIEW_MAIL_CLIENT_MEMBER = ViewSpec(
+    name="ViewMailClient_Member",
+    represents="MailClient",
+    interfaces=(
+        InterfaceRestriction(name="MessageI", mode=InterfaceMode.LOCAL),
+        InterfaceRestriction(name="AddressI", mode=InterfaceMode.LOCAL),
+        InterfaceRestriction(name="NotesI", mode=InterfaceMode.LOCAL),
+    ),
+)
+
+# Table 3(b): the partner view.  Bodies are Python (the reproduction's
+# method-body language); structure matches the paper's XML.
+VIEW_MAIL_CLIENT_PARTNER_XML = """
+<View name="ViewMailClient_Partner">
+  <Represents name="MailClient"/>
+  <Restricts>
+    <Interface name="MessageI" type="local"/>
+    <Interface name="NotesI" type="rmi" binding="NotesI"/>
+    <Interface name="AddressI" type="switchboard" binding="AddressI"/>
+  </Restricts>
+  <Adds_Fields>
+    <Field name="accountCopy" type="Account"/>
+  </Adds_Fields>
+  <Customizes_Methods>
+    <MSign>boolean addMeeting(String name)</MSign>
+    <MBody>return "meeting-requested:" + name</MBody>
+  </Customizes_Methods>
+</View>
+"""
+
+VIEW_MAIL_CLIENT_PARTNER = ViewSpec.from_xml(VIEW_MAIL_CLIENT_PARTNER_XML)
+
+VIEW_MAIL_CLIENT_ANONYMOUS = ViewSpec(
+    name="ViewMailClient_Anonymous",
+    represents="MailClient",
+    interfaces=(
+        InterfaceRestriction(
+            name="AddressI", mode=InterfaceMode.SWITCHBOARD, binding="AddressI"
+        ),
+    ),
+    customized_methods=(
+        MethodSpec(
+            name="getPhone",
+            params=("name",),
+            body=(
+                "raise PermissionError("
+                "'anonymous clients may only browse the email directory')"
+            ),
+        ),
+    ),
+)
+
+MAIL_CLIENT_VIEW_SPECS = (
+    VIEW_MAIL_CLIENT_MEMBER,
+    VIEW_MAIL_CLIENT_PARTNER,
+    VIEW_MAIL_CLIENT_ANONYMOUS,
+)
+
+
+def mail_client_policy() -> ViewAccessPolicy:
+    """Table 4's rules, verbatim."""
+    return (
+        ViewAccessPolicy("MailClient")
+        .allow(Role("Comp.NY", "Member"), "ViewMailClient_Member")
+        .allow(Role("Comp.NY", "Partner"), "ViewMailClient_Partner")
+        .allow("others", "ViewMailClient_Anonymous")
+    )

@@ -1,0 +1,20 @@
+"""Simulated multi-domain network substrate.
+
+Replaces the paper's physical three-site testbed (DESIGN.md §2): a
+deterministic discrete-event scheduler, nodes/links with properties, and a
+transport with latency + bandwidth modelling and per-link eavesdropping on
+insecure links.
+"""
+
+from .events import EventScheduler
+from .simnet import Network, SimLink, SimNode
+from .transport import Transport, TransportStats
+
+__all__ = [
+    "EventScheduler",
+    "Network",
+    "SimLink",
+    "SimNode",
+    "Transport",
+    "TransportStats",
+]

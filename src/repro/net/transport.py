@@ -1,0 +1,129 @@
+"""Message transport over the simulated network.
+
+Routes frames along shortest paths, charges per-link latency plus
+serialization delay on the virtual clock, and exposes the eavesdropping
+surface of insecure links: any observer registered on a link sees every
+frame that crosses it when ``secure=False``.  Switchboard's encrypted
+frames render that observation useless; plaintext RMI-style frames do not
+— which is the behavioural difference the paper's encryptor/decryptor
+deployment exists to fix.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import LinkDownError, NetworkError
+from .events import EventScheduler
+from .simnet import Network, SimLink
+
+Observer = Callable[[bytes, str, str], None]
+"""Eavesdropper callback: (payload, src node, dst node)."""
+
+
+@dataclass(slots=True)
+class TransportStats:
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_lost: int = 0
+    """Frames eaten by lossy links (failure injection)."""
+    bytes_sent: int = 0
+
+
+class Transport:
+    """Datagram-style delivery between node services."""
+
+    def __init__(
+        self, network: Network, scheduler: EventScheduler, *, loss_seed: int = 0
+    ) -> None:
+        self.network = network
+        self.scheduler = scheduler
+        self.stats = TransportStats()
+        self._observers: dict[frozenset[str], list[Observer]] = {}
+        self._flow_clock: dict[tuple[str, str], float] = {}
+        self._rng = random.Random(loss_seed)
+
+    def observe_link(self, a: str, b: str, observer: Observer) -> Callable[[], None]:
+        """Attach an eavesdropper to a link; returns a detach function.
+
+        Observers only receive frames when the link is insecure — a secure
+        (LAN/encrypted-at-layer-2) link hides traffic by assumption.
+        """
+        key = frozenset((a, b))
+        self.network.link(a, b)  # validate existence
+        self._observers.setdefault(key, []).append(observer)
+
+        def detach() -> None:
+            try:
+                self._observers[key].remove(observer)
+            except (KeyError, ValueError):
+                pass
+
+        return detach
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        service: str,
+        payload: bytes,
+        *,
+        on_dropped: Callable[[Exception], None] | None = None,
+    ) -> float:
+        """Queue a frame for delivery; returns the scheduled delay.
+
+        Raises :class:`LinkDownError` immediately when no route exists at
+        send time.  Frames traversing a link that goes down mid-flight are
+        still delivered (the simulation resolves the route at send time),
+        matching a store-and-forward model.
+        """
+        path = self.network.shortest_path(src, dst)
+        links = self.network.path_links(path)
+        delay = 0.0
+        for link in links:
+            if not link.up:
+                raise LinkDownError(f"link {link.a}<->{link.b} is down")
+            delay += link.transfer_delay(len(payload))
+            link.bytes_carried += len(payload)
+        # Links serialize in order: a small frame queued behind a large one
+        # cannot overtake it, so delivery per (src, dst) flow is FIFO.
+        now = self.scheduler.now()
+        flow = (src, dst)
+        deliver_at = max(now + delay, self._flow_clock.get(flow, 0.0) + 1e-9)
+        self._flow_clock[flow] = deliver_at
+        delay = deliver_at - now
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += len(payload)
+        self._snoop(links, payload, src, dst)
+
+        # Failure injection: lossy links eat frames after the eavesdropper
+        # has seen them (a passive observer taps before the drop point).
+        for link in links:
+            if link.loss_rate > 0 and self._rng.random() < link.loss_rate:
+                link.frames_dropped += 1
+                self.stats.messages_lost += 1
+                return delay
+
+        def deliver() -> None:
+            try:
+                self.network.node(dst).deliver(service, payload, src)
+                self.stats.messages_delivered += 1
+            except NetworkError as exc:
+                self.stats.messages_dropped += 1
+                if on_dropped is not None:
+                    on_dropped(exc)
+
+        self.scheduler.schedule(delay, deliver)
+        return delay
+
+    def _snoop(
+        self, links: list[SimLink], payload: bytes, src: str, dst: str
+    ) -> None:
+        for link in links:
+            if link.secure:
+                continue
+            for observer in self._observers.get(link.endpoints(), ()):
+                observer(payload, src, dst)

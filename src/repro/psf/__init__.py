@@ -1,0 +1,76 @@
+"""The Partitionable Services Framework (PSF).
+
+Declarative component specification, environment monitoring, Sekitei-style
+deployment planning, deployment infrastructure, and per-domain Guards —
+the substrate in which dRBAC and views operate (Sections 2-4).
+"""
+
+from .adaptation import (
+    AdaptationEvent,
+    AdaptationManager,
+    ManagedSession,
+    plan_signature,
+)
+from .appspec import LoadReport, load_application
+from .component import ComponentType, Port, view_component
+from .deployment import (
+    DeployedInstance,
+    Deployer,
+    Deployment,
+    DeploymentContext,
+    NodeRuntime,
+)
+from .framework import PSF, ServiceSession
+from .guard import Guard
+from .monitor import (
+    EnvironmentMonitor,
+    EnvironmentSnapshot,
+    LinkReport,
+    NodeReport,
+)
+from .planner import (
+    DeploymentPlan,
+    EdgeRequirement,
+    ExistingInstance,
+    PlannedComponent,
+    PlannedLink,
+    Planner,
+    ServiceRequest,
+)
+from .qos import QosPolicy, QosRule, ServiceLevel
+from .registrar import Registrar
+
+__all__ = [
+    "AdaptationEvent",
+    "AdaptationManager",
+    "ComponentType",
+    "LoadReport",
+    "load_application",
+    "ManagedSession",
+    "plan_signature",
+    "DeployedInstance",
+    "Deployer",
+    "Deployment",
+    "DeploymentContext",
+    "DeploymentPlan",
+    "EdgeRequirement",
+    "EnvironmentMonitor",
+    "EnvironmentSnapshot",
+    "ExistingInstance",
+    "Guard",
+    "LinkReport",
+    "NodeReport",
+    "NodeRuntime",
+    "PSF",
+    "PlannedComponent",
+    "PlannedLink",
+    "Planner",
+    "QosPolicy",
+    "QosRule",
+    "ServiceLevel",
+    "Port",
+    "Registrar",
+    "ServiceRequest",
+    "ServiceSession",
+    "view_component",
+]

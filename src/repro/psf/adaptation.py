@@ -1,0 +1,137 @@
+"""Continuous adaptation: re-planning managed sessions (§2.1-§2.2).
+
+"This dynamic model enables applications to flexibly and dynamically adapt
+to changes in resource availability and client requests."
+
+The :class:`AdaptationManager` closes the PSF loop the paper sketches: it
+subscribes to the environment monitor, and whenever link conditions change
+it re-plans every managed request.  If the feasible configuration changed
+(different components, placements, or channel modes), the new plan is
+deployed and the session's access handle is swapped; listeners observe
+each adaptation event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..errors import PlanningError
+from .framework import PSF
+from .monitor import LinkReport
+from .planner import DeploymentPlan, ServiceRequest
+
+
+def plan_signature(plan: DeploymentPlan) -> tuple:
+    """What makes two plans 'the same configuration'."""
+    components = tuple(
+        sorted((p.component.name, p.node) for p in plan.components)
+    )
+    links = tuple(
+        sorted((l.interface, l.mode) for l in plan.links)
+    )
+    return (components, links)
+
+
+@dataclass(slots=True)
+class AdaptationEvent:
+    """One re-planning outcome for one managed session."""
+
+    trigger: str
+    old_signature: tuple
+    new_signature: Optional[tuple]
+    redeployed: bool
+    error: Optional[str] = None
+
+
+@dataclass
+class ManagedSession:
+    """A service request kept satisfied across environment changes."""
+
+    request: ServiceRequest
+    plan: DeploymentPlan
+    access: Any
+    use_views: bool = True
+    history: list[AdaptationEvent] = field(default_factory=list)
+    _listeners: list[Callable[[AdaptationEvent], None]] = field(default_factory=list)
+
+    def on_adaptation(self, listener: Callable[[AdaptationEvent], None]) -> None:
+        self._listeners.append(listener)
+
+    def _record(self, event: AdaptationEvent) -> None:
+        self.history.append(event)
+        for listener in list(self._listeners):
+            listener(event)
+
+
+class AdaptationManager:
+    """Subscribes to the monitor and keeps managed sessions adapted."""
+
+    def __init__(self, psf: PSF) -> None:
+        self.psf = psf
+        self.sessions: list[ManagedSession] = []
+        self.events_processed = 0
+        psf.monitor.on_change(self._on_environment_change)
+
+    def manage(
+        self, request: ServiceRequest, *, use_views: bool = True
+    ) -> ManagedSession:
+        """Plan + deploy a request and keep it adapted thereafter."""
+        plan = self.psf.planner(use_views=use_views).plan(request)
+        deployment = self.psf.deployer.deploy(plan)
+        session = ManagedSession(
+            request=request,
+            plan=plan,
+            access=deployment.client_access(),
+            use_views=use_views,
+        )
+        self.sessions.append(session)
+        return session
+
+    # -- the adaptation loop -------------------------------------------------
+
+    def _on_environment_change(self, kind: str, report: LinkReport) -> None:
+        self.events_processed += 1
+        trigger = f"{kind}:{report.a}<->{report.b}"
+        for session in self.sessions:
+            self._readapt(session, trigger)
+
+    def _readapt(self, session: ManagedSession, trigger: str) -> None:
+        old_signature = plan_signature(session.plan)
+        try:
+            new_plan = self.psf.planner(use_views=session.use_views).plan(
+                session.request
+            )
+        except PlanningError as exc:
+            session._record(
+                AdaptationEvent(
+                    trigger=trigger,
+                    old_signature=old_signature,
+                    new_signature=None,
+                    redeployed=False,
+                    error=str(exc),
+                )
+            )
+            return
+        new_signature = plan_signature(new_plan)
+        if new_signature == old_signature:
+            session._record(
+                AdaptationEvent(
+                    trigger=trigger,
+                    old_signature=old_signature,
+                    new_signature=new_signature,
+                    redeployed=False,
+                )
+            )
+            return
+        deployment = self.psf.deployer.deploy(new_plan)
+        session.plan = new_plan
+        session.access = deployment.client_access()
+        session._record(
+            AdaptationEvent(
+                trigger=trigger,
+                old_signature=old_signature,
+                new_signature=new_signature,
+                redeployed=True,
+            )
+        )

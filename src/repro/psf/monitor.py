@@ -1,0 +1,107 @@
+"""Environment monitoring (§2.1).
+
+"The planning module ... factor[s] in application and network-level
+constraints, updates to which are tracked by the *monitoring* module."
+
+The monitor snapshots node/link state for the planner and notifies
+listeners when conditions change (degraded bandwidth, links losing their
+security property, nodes going away) so the framework can re-plan — the
+adaptation loop of §2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..net.simnet import Network, SimLink
+
+
+@dataclass(frozen=True, slots=True)
+class LinkReport:
+    a: str
+    b: str
+    latency_s: float
+    bandwidth_bps: float
+    secure: bool
+    up: bool
+
+
+@dataclass(frozen=True, slots=True)
+class NodeReport:
+    name: str
+    domain: str
+    properties: tuple[tuple[str, object], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class EnvironmentSnapshot:
+    nodes: tuple[NodeReport, ...]
+    links: tuple[LinkReport, ...]
+
+
+ChangeListener = Callable[[str, LinkReport], None]
+"""Called with (change kind, new link state)."""
+
+
+class EnvironmentMonitor:
+    """Watches the simulated network on behalf of the planner."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._listeners: list[ChangeListener] = []
+        self.changes_observed = 0
+
+    def snapshot(self) -> EnvironmentSnapshot:
+        nodes = tuple(
+            NodeReport(
+                name=n.name,
+                domain=n.domain,
+                properties=tuple(sorted(n.properties.items())),
+            )
+            for n in self.network.nodes()
+        )
+        links = tuple(_report(l) for l in self.network.links())
+        return EnvironmentSnapshot(nodes=nodes, links=links)
+
+    def on_change(self, listener: ChangeListener) -> None:
+        self._listeners.append(listener)
+
+    # -- mutation entry points (the "measurement" side) ----------------------
+
+    def set_link_bandwidth(self, a: str, b: str, bandwidth_bps: float) -> None:
+        link = self.network.link(a, b)
+        link.bandwidth_bps = bandwidth_bps
+        self._notify("bandwidth", link)
+
+    def set_link_latency(self, a: str, b: str, latency_s: float) -> None:
+        link = self.network.link(a, b)
+        link.latency_s = latency_s
+        self._notify("latency", link)
+
+    def set_link_security(self, a: str, b: str, secure: bool) -> None:
+        link = self.network.link(a, b)
+        link.secure = secure
+        self._notify("security", link)
+
+    def set_link_up(self, a: str, b: str, up: bool) -> None:
+        link = self.network.link(a, b)
+        link.up = up
+        self._notify("up" if up else "down", link)
+
+    def _notify(self, kind: str, link: SimLink) -> None:
+        self.changes_observed += 1
+        report = _report(link)
+        for listener in list(self._listeners):
+            listener(kind, report)
+
+
+def _report(link: SimLink) -> LinkReport:
+    return LinkReport(
+        a=link.a,
+        b=link.b,
+        latency_s=link.latency_s,
+        bandwidth_bps=link.bandwidth_bps,
+        secure=link.secure,
+        up=link.up,
+    )

@@ -1,0 +1,627 @@
+"""Deployment planning (§2.1).
+
+"The *planning* module is responsible for selecting amongst valid
+application configurations the [one that satisfies] the level of service
+requested for the deployment while factoring in application and
+network-level constraints. ... Our current planner, Sekitei, combines
+regression and progression techniques from classical AI planning."
+
+This planner performs regression search from the client's goal interface:
+
+* **Type compatibility** drives linkage — a provider is any existing
+  instance or deployable component whose implemented port satisfies the
+  required interface properties (§2.1).
+* **Edge admissibility** enforces network QoS per channel: bandwidth,
+  latency, and privacy.  A channel carrying unencrypted payload across an
+  insecure link is only admissible over Switchboard; bulk (``rmi``)
+  channels across insecure links need an encrypted payload — which is what
+  forces the planner to synthesize encryptor/decryptor chains (§2.2).
+* **Authorization** is delegated to dRBAC (§3.3): hosting nodes must
+  satisfy the component's node constraints ("is node a Mail.Node with
+  Secure={true}?"), and the node's domain Guard must grant the component's
+  role a CPU budget at least the component's demand.
+* **Views** enrich the searchable component set; ``use_views=False``
+  ablates them for the E-PLAN experiment.
+
+Candidate providers are ordered progression-style (existing instances
+first, then components by require-count, then nodes by proximity to the
+consumer), so the first feasible plan found is also a cheap one.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import PlanningError
+from ..net.simnet import Network
+from ..errors import NetworkError
+from .component import ComponentType, Port
+from .guard import Guard
+from .registrar import Registrar
+
+_instance_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeRequirement:
+    """QoS demanded of one consumer→provider channel."""
+
+    privacy: bool = False
+    min_bandwidth_bps: float = 0.0
+    max_latency_s: float = math.inf
+    channel: str = "any"
+    """"any" lets the planner pick Switchboard when privacy demands it;
+    "rmi" pins a bulk/plaintext channel; "switchboard" pins a secure one."""
+    view_origin: str = ""
+    """When set, only instances of that component type may provide this
+    edge — a view must be linked to its original object."""
+
+    @staticmethod
+    def from_port(port: Port) -> "EdgeRequirement":
+        props = port.properties
+        return EdgeRequirement(
+            privacy=bool(props.get("privacy", False)),
+            min_bandwidth_bps=float(props.get("min_bandwidth", 0.0)),
+            max_latency_s=float(props.get("max_latency", math.inf)),
+            channel=str(props.get("channel", "any")),
+            view_origin=str(props.get("view_origin", "")),
+        )
+
+    def key(self) -> tuple:
+        return (
+            self.privacy,
+            self.min_bandwidth_bps,
+            self.max_latency_s,
+            self.channel,
+            self.view_origin,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceRequest:
+    """A client's demand: an interface, delivered at a node, with QoS."""
+
+    client: str
+    client_node: str
+    interface: str
+    required_props: tuple[tuple[str, object], ...] = ()
+    qos: EdgeRequirement = field(default_factory=EdgeRequirement)
+
+    def props_dict(self) -> dict:
+        return dict(self.required_props)
+
+
+@dataclass(frozen=True, slots=True)
+class ExistingInstance:
+    """An already-running component the planner may link against."""
+
+    name: str
+    node: str
+    component: ComponentType
+
+
+@dataclass(slots=True)
+class PlannedComponent:
+    instance_id: str
+    component: ComponentType
+    node: str
+
+
+@dataclass(slots=True)
+class PlannedLink:
+    consumer: str
+    provider: str
+    interface: str
+    path: tuple[str, ...]
+    mode: str
+    """"local" | "rmi" | "switchboard"."""
+
+
+@dataclass(slots=True)
+class DeploymentPlan:
+    request: ServiceRequest
+    components: list[PlannedComponent]
+    links: list[PlannedLink]
+    entry_instance: str
+    """Instance id / existing-instance name the client binds to."""
+    goals_expanded: int = 0
+    candidates_examined: int = 0
+
+    def deployed_names(self) -> list[str]:
+        return [p.component.name for p in self.components]
+
+    def __str__(self) -> str:
+        rows = [
+            f"  {p.instance_id}: {p.component.name} @ {p.node}" for p in self.components
+        ]
+        rows += [
+            f"  {l.consumer} --{l.interface}/{l.mode}--> {l.provider}"
+            for l in self.links
+        ]
+        return "plan:\n" + "\n".join(rows)
+
+
+@dataclass(slots=True)
+class _EnumCounter:
+    """Bounds the work of exhaustive plan enumeration."""
+
+    limit: int
+    produced: int = 0
+
+    def tick(self) -> None:
+        self.produced += 1
+
+    @property
+    def exhausted(self) -> bool:
+        return self.produced >= self.limit * 8
+
+
+@dataclass(slots=True)
+class _SearchState:
+    components: list[PlannedComponent] = field(default_factory=list)
+    links: list[PlannedLink] = field(default_factory=list)
+    goals_expanded: int = 0
+    candidates_examined: int = 0
+
+
+class Planner:
+    """Regression planner over the registered component set."""
+
+    def __init__(
+        self,
+        registrar: Registrar,
+        network: Network,
+        guards: dict[str, Guard],
+        *,
+        existing: list[ExistingInstance] | None = None,
+        use_views: bool = True,
+        max_depth: int = 6,
+    ) -> None:
+        self.registrar = registrar
+        self.network = network
+        self.guards = guards
+        self.existing = list(existing or [])
+        self.use_views = use_views
+        self.max_depth = max_depth
+
+    # -- public API --------------------------------------------------------
+
+    def plan(
+        self, request: ServiceRequest, *, optimize: bool = False
+    ) -> DeploymentPlan:
+        """Find a feasible deployment or raise :class:`PlanningError`.
+
+        With ``optimize=True`` the planner enumerates feasible
+        configurations (bounded by ``enumerate_plans``'s limit) and picks
+        the cheapest by :meth:`plan_cost` instead of returning the first
+        feasible one — the Sekitei-flavoured quality/speed trade-off
+        ablated by ``benchmarks/bench_planner_quality.py``.
+        """
+        if optimize:
+            candidates = self.enumerate_plans(request)
+            if not candidates:
+                raise PlanningError(
+                    f"no deployment delivers {request.interface} at "
+                    f"{request.client_node} under {request.qos}"
+                )
+            return min(candidates, key=self.plan_cost)
+        state = _SearchState()
+        entry = self._solve(
+            interface=request.interface,
+            required_props=request.props_dict(),
+            edge=request.qos,
+            consumer="client",
+            consumer_node=request.client_node,
+            state=state,
+            depth=0,
+            stack=frozenset(),
+        )
+        if entry is None:
+            raise PlanningError(
+                f"no deployment delivers {request.interface} at "
+                f"{request.client_node} under {request.qos}"
+            )
+        return DeploymentPlan(
+            request=request,
+            components=state.components,
+            links=state.links,
+            entry_instance=entry,
+            goals_expanded=state.goals_expanded,
+            candidates_examined=state.candidates_examined,
+        )
+
+    def can_plan(self, request: ServiceRequest) -> bool:
+        try:
+            self.plan(request)
+            return True
+        except PlanningError:
+            return False
+
+    # -- plan quality ------------------------------------------------------
+
+    def plan_cost(self, plan: DeploymentPlan) -> float:
+        """Deployment cost: component instantiations dominate, channel
+        path delay breaks ties (1 component ≙ 10 ms of path delay)."""
+        delay = 0.0
+        for link in plan.links:
+            if len(link.path) > 1:
+                delay += self.network.path_delay(list(link.path), 1024)
+        return 0.010 * len(plan.components) + delay
+
+    def enumerate_plans(
+        self, request: ServiceRequest, *, limit: int = 64
+    ) -> list[DeploymentPlan]:
+        """Enumerate up to ``limit`` feasible deployments for a request.
+
+        Exhaustive over the same option space :meth:`plan` searches, but
+        collecting every completion instead of stopping at the first.
+        Completion counts are bounded, so the enumeration stays tractable
+        at scenario scales; the limit guards pathological fan-outs.
+        """
+        plans: list[DeploymentPlan] = []
+        counter = _EnumCounter(limit=limit)
+        for components, links, _entry in self._solve_all(
+            interface=request.interface,
+            required_props=request.props_dict(),
+            edge=request.qos,
+            consumer="client",
+            consumer_node=request.client_node,
+            depth=0,
+            stack=frozenset(),
+            counter=counter,
+        ):
+            plans.append(
+                DeploymentPlan(
+                    request=request,
+                    components=list(components),
+                    links=list(links),
+                    entry_instance=links[0].provider if links else "",
+                )
+            )
+            if len(plans) >= limit:
+                break
+        return plans
+
+    def _solve_all(
+        self,
+        *,
+        interface: str,
+        required_props: dict,
+        edge: EdgeRequirement,
+        consumer: str,
+        consumer_node: str,
+        depth: int,
+        stack: frozenset,
+        counter: "_EnumCounter",
+    ):
+        """Yield every (components, links, provider) completion of a goal.
+
+        The yielded component/link lists are immutable tuples representing
+        the whole sub-tree for this goal, ready to be concatenated by the
+        caller.  The first link in ``links`` is always the consumer's edge.
+        """
+        if depth > self.max_depth or counter.exhausted:
+            return
+        goal_key = (interface, consumer_node, edge.key())
+        if goal_key in stack:
+            return
+        stack = stack | {goal_key}
+
+        for instance in self._existing_by_proximity(consumer_node):
+            if edge.view_origin and instance.component.name != edge.view_origin:
+                continue
+            port = instance.component.implemented_port(interface)
+            if port is None or not port.satisfies(required_props):
+                continue
+            mode = self._admissible_mode(consumer_node, instance.node, port, edge)
+            if mode is None:
+                continue
+            link = PlannedLink(
+                consumer=consumer,
+                provider=instance.name,
+                interface=interface,
+                path=tuple(self._path(consumer_node, instance.node)),
+                mode=mode,
+            )
+            counter.tick()
+            yield (), (link,), instance.name
+
+        for component in self._deployable_providers(interface, required_props):
+            if edge.view_origin and component.name != edge.view_origin:
+                continue
+            port = component.implemented_port(interface)
+            assert port is not None
+            for node in self._candidate_nodes(consumer_node, component):
+                if counter.exhausted:
+                    return
+                mode = self._admissible_mode(consumer_node, node, port, edge)
+                if mode is None:
+                    continue
+                if not self._node_authorizes(component, node):
+                    continue
+                instance_id = f"p{next(_instance_counter)}"
+                placed = PlannedComponent(
+                    instance_id=instance_id, component=component, node=node
+                )
+                entry_link = PlannedLink(
+                    consumer=consumer,
+                    provider=instance_id,
+                    interface=interface,
+                    path=tuple(self._path(consumer_node, node)),
+                    mode=mode,
+                )
+                sub_edges = []
+                for requirement in component.requires:
+                    sub_edge = EdgeRequirement.from_port(requirement)
+                    if component.properties.get("bandwidth_transparent"):
+                        sub_edge = EdgeRequirement(
+                            privacy=sub_edge.privacy,
+                            min_bandwidth_bps=max(
+                                sub_edge.min_bandwidth_bps, edge.min_bandwidth_bps
+                            ),
+                            max_latency_s=sub_edge.max_latency_s,
+                            channel=sub_edge.channel,
+                            view_origin=sub_edge.view_origin,
+                        )
+                    sub_edges.append((requirement, sub_edge))
+                for sub_components, sub_links in self._satisfy_all(
+                    sub_edges, instance_id, node, depth, stack, counter
+                ):
+                    counter.tick()
+                    yield (
+                        (placed,) + sub_components,
+                        (entry_link,) + sub_links,
+                        instance_id,
+                    )
+
+    def _satisfy_all(
+        self,
+        requirements: list,
+        instance_id: str,
+        node: str,
+        depth: int,
+        stack: frozenset,
+        counter: "_EnumCounter",
+    ):
+        """Cartesian product of completions across required ports."""
+        if not requirements:
+            yield (), ()
+            return
+        (requirement, sub_edge), rest = requirements[0], requirements[1:]
+        for components, links, _provider in self._solve_all(
+            interface=requirement.interface,
+            required_props={},
+            edge=sub_edge,
+            consumer=instance_id,
+            consumer_node=node,
+            depth=depth + 1,
+            stack=stack,
+            counter=counter,
+        ):
+            for rest_components, rest_links in self._satisfy_all(
+                rest, instance_id, node, depth, stack, counter
+            ):
+                yield components + rest_components, links + rest_links
+
+    # -- goal solving -----------------------------------------------------------
+
+    def _solve(
+        self,
+        *,
+        interface: str,
+        required_props: dict,
+        edge: EdgeRequirement,
+        consumer: str,
+        consumer_node: str,
+        state: _SearchState,
+        depth: int,
+        stack: frozenset,
+    ) -> Optional[str]:
+        """Satisfy one goal; returns the provider instance id, extending
+        ``state`` in place, or None when infeasible."""
+        if depth > self.max_depth:
+            return None
+        goal_key = (interface, consumer_node, edge.key())
+        if goal_key in stack:
+            return None  # would recurse through the same goal
+        stack = stack | {goal_key}
+        state.goals_expanded += 1
+
+        # Option A (progression flavour): link to an existing instance.
+        for instance in self._existing_by_proximity(consumer_node):
+            if edge.view_origin and instance.component.name != edge.view_origin:
+                continue
+            port = instance.component.implemented_port(interface)
+            if port is None or not port.satisfies(required_props):
+                continue
+            state.candidates_examined += 1
+            mode = self._admissible_mode(consumer_node, instance.node, port, edge)
+            if mode is None:
+                continue
+            state.links.append(
+                PlannedLink(
+                    consumer=consumer,
+                    provider=instance.name,
+                    interface=interface,
+                    path=tuple(self._path(consumer_node, instance.node)),
+                    mode=mode,
+                )
+            )
+            return instance.name
+
+        # Option B (regression): deploy a component that implements the goal.
+        for component in self._deployable_providers(interface, required_props):
+            if edge.view_origin and component.name != edge.view_origin:
+                continue
+            port = component.implemented_port(interface)
+            assert port is not None
+            for node in self._candidate_nodes(consumer_node, component):
+                state.candidates_examined += 1
+                mode = self._admissible_mode(consumer_node, node, port, edge)
+                if mode is None:
+                    continue
+                if not self._node_authorizes(component, node):
+                    continue
+                # Tentatively place the component, then regress its needs.
+                checkpoint_c = len(state.components)
+                checkpoint_l = len(state.links)
+                instance_id = f"p{next(_instance_counter)}"
+                state.components.append(
+                    PlannedComponent(
+                        instance_id=instance_id, component=component, node=node
+                    )
+                )
+                state.links.append(
+                    PlannedLink(
+                        consumer=consumer,
+                        provider=instance_id,
+                        interface=interface,
+                        path=tuple(self._path(consumer_node, node)),
+                        mode=mode,
+                    )
+                )
+                satisfied = True
+                for requirement in component.requires:
+                    sub_edge = EdgeRequirement.from_port(requirement)
+                    # Bandwidth-transparent relays (encryptor/decryptor)
+                    # pass the full data stream through: their upstream
+                    # edge inherits the consumer's bandwidth demand.
+                    # Caches absorb it (they serve from local state).
+                    if component.properties.get("bandwidth_transparent"):
+                        sub_edge = EdgeRequirement(
+                            privacy=sub_edge.privacy,
+                            min_bandwidth_bps=max(
+                                sub_edge.min_bandwidth_bps, edge.min_bandwidth_bps
+                            ),
+                            max_latency_s=sub_edge.max_latency_s,
+                            channel=sub_edge.channel,
+                            view_origin=sub_edge.view_origin,
+                        )
+                    provider = self._solve(
+                        interface=requirement.interface,
+                        required_props={},
+                        edge=sub_edge,
+                        consumer=instance_id,
+                        consumer_node=node,
+                        state=state,
+                        depth=depth + 1,
+                        stack=stack,
+                    )
+                    if provider is None:
+                        satisfied = False
+                        break
+                if satisfied:
+                    return instance_id
+                del state.components[checkpoint_c:]
+                del state.links[checkpoint_l:]
+        return None
+
+    # -- candidate enumeration ------------------------------------------------------
+
+    def _deployable_providers(
+        self, interface: str, required_props: dict
+    ) -> list[ComponentType]:
+        providers = [
+            c
+            for c in self.registrar.providers_of(interface, required_props)
+            if c.deployable and (self.use_views or not c.is_view)
+        ]
+        # Fewer requirements first: cheaper subtrees get explored first.
+        providers.sort(key=lambda c: (len(c.requires), c.cpu_demand, c.name))
+        return providers
+
+    def _existing_by_proximity(self, consumer_node: str) -> list[ExistingInstance]:
+        def distance(instance: ExistingInstance) -> float:
+            try:
+                path = self.network.shortest_path(consumer_node, instance.node)
+            except NetworkError:
+                return math.inf
+            return self.network.path_delay(path, 1024)
+
+        return sorted(self.existing, key=distance)
+
+    def _candidate_nodes(
+        self, consumer_node: str, component: ComponentType | None = None
+    ) -> list[str]:
+        """Nodes ordered by proximity to the consumer, breaking ties by
+        proximity to existing providers of the component's requirements —
+        so relays (encryptors) gravitate toward the services they wrap."""
+        upstream_nodes: list[str] = []
+        if component is not None and component.requires:
+            wanted = {p.interface for p in component.requires}
+            upstream_nodes = [
+                inst.node
+                for inst in self.existing
+                if any(inst.component.implemented_port(i) for i in wanted)
+            ]
+
+        def pair_delay(a: str, b: str) -> float:
+            try:
+                path = self.network.shortest_path(a, b)
+            except NetworkError:
+                return math.inf
+            return self.network.path_delay(path, 1024)
+
+        def key(name: str) -> tuple[float, float]:
+            to_consumer = pair_delay(consumer_node, name)
+            to_upstream = min(
+                (pair_delay(name, up) for up in upstream_nodes), default=0.0
+            )
+            return (to_consumer + to_upstream, to_consumer)
+
+        names = [n.name for n in self.network.nodes()]
+        names.sort(key=key)
+        return names
+
+    def _path(self, a: str, b: str) -> list[str]:
+        if a == b:
+            return [a]
+        return self.network.shortest_path(a, b)
+
+    # -- admissibility -----------------------------------------------------------------
+
+    def _admissible_mode(
+        self, consumer_node: str, provider_node: str, port: Port, edge: EdgeRequirement
+    ) -> Optional[str]:
+        """Pick a channel mode satisfying the edge QoS, or None."""
+        if consumer_node == provider_node:
+            return "local"
+        try:
+            path = self.network.shortest_path(consumer_node, provider_node)
+        except NetworkError:
+            return None
+        if self.network.min_bandwidth(path) < edge.min_bandwidth_bps:
+            return None
+        if self.network.path_delay(path, 1024) > edge.max_latency_s:
+            return None
+        secure_path = self.network.path_is_secure(path)
+        payload_encrypted = bool(port.properties.get("encrypted", False))
+        if edge.privacy and not secure_path and not payload_encrypted:
+            # Plain payload over an insecure path: only Switchboard saves it.
+            if edge.channel in ("any", "switchboard"):
+                return "switchboard"
+            return None
+        if edge.channel == "switchboard":
+            return "switchboard"
+        return "rmi"
+
+    # -- authorization (§3.3) -------------------------------------------------------------
+
+    def _node_authorizes(self, component: ComponentType, node_name: str) -> bool:
+        node = self.network.node(node_name)
+        guard = self.guards.get(node.domain)
+        if guard is None:
+            return False
+        # (i) the node maps onto the application's required properties.
+        for constraint in component.node_constraints:
+            if not guard.node_satisfies(node_name, constraint):
+                return False
+        # (ii) the node's domain accepts the component, with enough CPU.
+        if component.component_role is not None:
+            budget = guard.component_cpu_budget(component.component_role)
+            if budget is None or budget < component.cpu_demand:
+                return False
+        return True

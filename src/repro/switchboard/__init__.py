@@ -1,0 +1,63 @@
+"""Switchboard: secure, monitored, continuously-authorized channels (§4.3).
+
+Also hosts the plain (RMI-style) RPC layer used by *rmi*-typed view
+interfaces, whose frames are readable by eavesdroppers on insecure links —
+the contrast that motivates Switchboard.
+"""
+
+from .authorizer import (
+    AcceptAllAuthorizer,
+    AuthorizationMonitor,
+    AuthorizationSuite,
+    Authorizer,
+    RoleAuthorizer,
+)
+from .channel import (
+    ChannelState,
+    ChannelStats,
+    PendingConnection,
+    SwitchboardConnection,
+    SwitchboardEndpoint,
+    SWITCHBOARD_SERVICE,
+)
+from .registry import NamingRegistry, ServiceAddress
+from .stream import (
+    DEFAULT_CHUNK_SIZE,
+    IncomingStream,
+    OutgoingStream,
+    StreamManager,
+    StreamStats,
+)
+from .rpc import (
+    ObjectExporter,
+    PendingCall,
+    PlainRpcEndpoint,
+    RemoteError,
+    PLAIN_RPC_SERVICE,
+)
+
+__all__ = [
+    "AcceptAllAuthorizer",
+    "AuthorizationMonitor",
+    "AuthorizationSuite",
+    "Authorizer",
+    "ChannelState",
+    "ChannelStats",
+    "DEFAULT_CHUNK_SIZE",
+    "IncomingStream",
+    "OutgoingStream",
+    "StreamManager",
+    "StreamStats",
+    "NamingRegistry",
+    "ObjectExporter",
+    "PLAIN_RPC_SERVICE",
+    "PendingCall",
+    "PendingConnection",
+    "PlainRpcEndpoint",
+    "RemoteError",
+    "RoleAuthorizer",
+    "SWITCHBOARD_SERVICE",
+    "ServiceAddress",
+    "SwitchboardConnection",
+    "SwitchboardEndpoint",
+]

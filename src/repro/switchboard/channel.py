@@ -1,0 +1,684 @@
+"""Switchboard secure channels (Section 4.3).
+
+A Switchboard connection is "secure, authenticated, and *continuously*
+authorized and monitored" — the property that "distinguishes Switchboard
+from abstractions like SSL/TLS".  The implementation:
+
+* **Handshake** — both ends exchange public identities, fresh nonces,
+  Diffie-Hellman public values, and dRBAC credential sets, each signed by
+  the sender's RSA key.  Each end checks the signature (proof of key
+  possession), checks the name→key binding against its PKI directory, and
+  runs its :class:`~repro.switchboard.authorizer.Authorizer` on the
+  partner's credentials, producing an ``AuthorizationMonitor``.
+* **Frames** — after the handshake every frame is encrypted and MACed with
+  the DH session key; the per-direction sequence number rides as
+  associated data, so replayed or reordered frames fail authentication or
+  the monotonicity check (:class:`~repro.errors.ReplayError` accounting).
+* **Heartbeats** — replay-resistant pings measure round-trip latency and
+  drive liveness: missing too many pongs marks the channel ``DEAD``.
+* **Continuous authorization** — a revocation anywhere in either partner's
+  proof graph fires the monitor, flips the channel to ``REVOKED``, notifies
+  the peer, and blocks further calls until :meth:`SwitchboardConnection.
+  revalidate` succeeds with fresh credentials.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import secrets
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..crypto.cipher import AuthenticatedCipher
+from ..crypto.dh import DiffieHellman
+from ..crypto.keys import PublicIdentity
+from ..drbac.delegation import Delegation
+from ..drbac.wire import (
+    delegation_from_wire,
+    delegation_to_wire,
+    public_identity_from_wire,
+    public_identity_to_wire,
+)
+from ..errors import (
+    ChannelClosedError,
+    CipherError,
+    HandshakeError,
+    SwitchboardError,
+)
+from ..net.transport import Transport
+from .authorizer import AuthorizationMonitor, AuthorizationSuite
+from .rpc import ObjectExporter, PendingCall, decode_frame, encode_frame
+
+SWITCHBOARD_SERVICE = "switchboard"
+
+_conn_ids = itertools.count(1)
+_call_ids = itertools.count(1)
+
+DirectoryLookup = Callable[[str], Optional[PublicIdentity]]
+
+
+class ChannelState(enum.Enum):
+    CONNECTING = "connecting"
+    OPEN = "open"
+    REVOKED = "revoked"
+    DEAD = "dead"
+    CLOSED = "closed"
+
+
+def _handshake_bytes(conn_id: str, role: str, dh_public: int, nonces: list[str]) -> bytes:
+    return f"swb-hs|{conn_id}|{role}|{dh_public:x}|{'|'.join(nonces)}".encode()
+
+
+@dataclass
+class ChannelStats:
+    frames_sent: int = 0
+    frames_received: int = 0
+    replays_rejected: int = 0
+    tamper_rejected: int = 0
+    heartbeats_sent: int = 0
+    heartbeats_answered: int = 0
+
+
+class SwitchboardConnection:
+    """One secure, monitored end of an established channel."""
+
+    def __init__(
+        self,
+        endpoint: "SwitchboardEndpoint",
+        conn_id: str,
+        peer_node: str,
+        peer_identity: PublicIdentity,
+        cipher: AuthenticatedCipher,
+        monitor: AuthorizationMonitor,
+        exporter: ObjectExporter,
+        *,
+        is_initiator: bool,
+    ) -> None:
+        self.endpoint = endpoint
+        self.conn_id = conn_id
+        self.peer_node = peer_node
+        self.peer_identity = peer_identity
+        self.cipher = cipher
+        self.monitor = monitor
+        self.exporter = exporter
+        self.is_initiator = is_initiator
+        self.state = ChannelState.OPEN
+        self.stats = ChannelStats()
+        self.last_rtt: Optional[float] = None
+        self.missed_heartbeats = 0
+        self._send_seq = 0
+        self._recv_seq = -1
+        self._pending: dict[int, PendingCall] = {}
+        self._trust_callbacks: list[Callable[[str], None]] = []
+        self._heartbeat_cancel: Callable[[], None] = lambda: None
+        self._expiry_cancel: Callable[[], None] = lambda: None
+        from .stream import StreamManager  # local import avoids a cycle
+
+        self.streams = StreamManager(self)
+        self._last_pong_at: float = endpoint.transport.scheduler.now()
+        monitor.on_change(self._on_trust_change)
+
+    # -- calls -------------------------------------------------------------
+
+    def call(self, target: str, method: str, args: list | None = None) -> PendingCall:
+        """Invoke ``method`` on the peer's exported ``target`` object.
+
+        After channel establishment no further access-control checks run —
+        the paper's single-sign-on property.  Calls on a revoked or closed
+        channel raise :class:`ChannelClosedError`.
+        """
+        self._require_open()
+        call_id = next(_call_ids)
+        pending = PendingCall(
+            call_id=call_id,
+            method=method,
+            _scheduler=self.endpoint.transport.scheduler,
+        )
+        self._pending[call_id] = pending
+        self._send(
+            {
+                "kind": "call",
+                "call_id": call_id,
+                "target": target,
+                "method": method,
+                "args": args or [],
+            }
+        )
+        return pending
+
+    def call_sync(self, target: str, method: str, args: list | None = None) -> Any:
+        return self.call(target, method, args).wait()
+
+    # -- heartbeats -----------------------------------------------------------
+
+    def start_heartbeats(self, interval: float, *, max_missed: int = 3) -> None:
+        """Begin periodic replay-resistant liveness probes."""
+        scheduler = self.endpoint.transport.scheduler
+        self._last_pong_at = scheduler.now()
+
+        def beat() -> None:
+            if self.state is not ChannelState.OPEN:
+                # Self-cancel so a revoked/closed channel stops ticking;
+                # revalidation may call start_heartbeats() again.
+                self.stop_heartbeats()
+                return
+            elapsed = scheduler.now() - self._last_pong_at
+            if elapsed > interval * max_missed:
+                self.missed_heartbeats = max_missed
+                self._transition(ChannelState.DEAD, "heartbeat timeout")
+                return
+            self.stats.heartbeats_sent += 1
+            self._send({"kind": "ping", "t": scheduler.now()})
+
+        self._heartbeat_cancel = scheduler.schedule_every(interval, beat)
+
+    def stop_heartbeats(self) -> None:
+        self._heartbeat_cancel()
+        self._heartbeat_cancel = lambda: None
+
+    # -- expiry watching -----------------------------------------------------
+
+    def watch_expiry(self, interval: float) -> None:
+        """Periodically re-check credential expiry for this channel.
+
+        Expiration is a clock condition, not an event, so unlike
+        revocations it must be polled; a lapsed credential in the peer's
+        proof flips the channel to ``REVOKED`` exactly like a revocation
+        (and revalidation with fresh credentials restores it).
+        """
+        scheduler = self.endpoint.transport.scheduler
+
+        def check() -> None:
+            if self.state is not ChannelState.OPEN:
+                self._expiry_cancel()
+                self._expiry_cancel = lambda: None
+                return
+            self.monitor.check_expiry(scheduler.now())
+
+        self._expiry_cancel = scheduler.schedule_every(interval, check)
+
+    def stop_expiry_watch(self) -> None:
+        self._expiry_cancel()
+        self._expiry_cancel = lambda: None
+
+    # -- trust lifecycle ---------------------------------------------------------
+
+    def on_trust_change(self, callback: Callable[[str], None]) -> None:
+        """Register for trust-relationship changes (revocations)."""
+        self._trust_callbacks.append(callback)
+
+    def revalidate(self, credentials: list[Delegation]) -> PendingCall:
+        """Ask the peer to re-run its authorizer with fresh credentials.
+
+        On success both sides return to ``OPEN`` (the peer answers through
+        the still-keyed channel; the cipher never changed, only the trust
+        state did).
+        """
+        if self.state not in (ChannelState.REVOKED, ChannelState.OPEN):
+            raise ChannelClosedError(f"cannot revalidate from state {self.state}")
+        call_id = next(_call_ids)
+        pending = PendingCall(
+            call_id=call_id,
+            method="<revalidate>",
+            _scheduler=self.endpoint.transport.scheduler,
+        )
+        self._pending[call_id] = pending
+        self._send(
+            {
+                "kind": "revalidate",
+                "call_id": call_id,
+                "credentials": [delegation_to_wire(c) for c in credentials],
+            },
+            allow_when_revoked=True,
+        )
+        return pending
+
+    def close(self) -> None:
+        if self.state is ChannelState.CLOSED:
+            return
+        try:
+            self._send({"kind": "close"}, allow_when_revoked=True)
+        except SwitchboardError:
+            pass
+        self._teardown(ChannelState.CLOSED)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self.state is ChannelState.REVOKED:
+            raise ChannelClosedError(
+                f"channel {self.conn_id} revoked; revalidation required"
+            )
+        if self.state is not ChannelState.OPEN:
+            raise ChannelClosedError(f"channel {self.conn_id} is {self.state.value}")
+
+    def _send(self, inner: dict, *, allow_when_revoked: bool = False) -> None:
+        if not allow_when_revoked:
+            self._require_open()
+        elif self.state in (ChannelState.CLOSED, ChannelState.DEAD):
+            raise ChannelClosedError(f"channel {self.conn_id} is {self.state.value}")
+        seq = self._send_seq
+        self._send_seq += 1
+        ad = self._associated_data(sender_is_initiator=self.is_initiator, seq=seq)
+        frame = self.cipher.encrypt(encode_frame(inner), ad)
+        self.stats.frames_sent += 1
+        self.endpoint.transport.send(
+            self.endpoint.node_name,
+            self.peer_node,
+            SWITCHBOARD_SERVICE,
+            encode_frame(
+                {
+                    "type": "data",
+                    "conn_id": self.conn_id,
+                    "seq": seq,
+                    "from_initiator": self.is_initiator,
+                    "frame": frame.hex(),
+                }
+            ),
+        )
+
+    def _associated_data(self, *, sender_is_initiator: bool, seq: int) -> bytes:
+        direction = b"i2r" if sender_is_initiator else b"r2i"
+        return self.conn_id.encode() + b"|" + direction + b"|" + seq.to_bytes(8, "big")
+
+    def _receive(self, outer: dict) -> None:
+        seq = int(outer["seq"])
+        if seq <= self._recv_seq:
+            self.stats.replays_rejected += 1
+            return
+        ad = self._associated_data(
+            sender_is_initiator=bool(outer["from_initiator"]), seq=seq
+        )
+        try:
+            plaintext = self.cipher.decrypt(bytes.fromhex(outer["frame"]), ad)
+        except (CipherError, ValueError):
+            self.stats.tamper_rejected += 1
+            return
+        self._recv_seq = seq
+        self.stats.frames_received += 1
+        self._handle(decode_frame(plaintext))
+
+    def _handle(self, inner: dict) -> None:
+        kind = inner.get("kind")
+        if kind in ("stream", "stream-end"):
+            self.streams.handle(inner)
+        elif kind == "call":
+            self._serve_call(inner)
+        elif kind == "result":
+            self._complete_call(inner)
+        elif kind == "ping":
+            self._send({"kind": "pong", "t": inner["t"]}, allow_when_revoked=True)
+        elif kind == "pong":
+            now = self.endpoint.transport.scheduler.now()
+            self.last_rtt = now - float(inner["t"])
+            self._last_pong_at = now
+            self.missed_heartbeats = 0
+            self.stats.heartbeats_answered += 1
+        elif kind == "revoked":
+            self._transition(ChannelState.REVOKED, inner.get("credential_id", "peer"))
+        elif kind == "revalidate":
+            self._serve_revalidate(inner)
+        elif kind == "revalidated":
+            self._complete_revalidate(inner)
+        elif kind == "close":
+            self._teardown(ChannelState.CLOSED)
+        else:
+            raise SwitchboardError(f"unknown channel frame kind {kind!r}")
+
+    def _serve_call(self, inner: dict) -> None:
+        if self.state is not ChannelState.OPEN:
+            # Paper: monitors "can ... requir[e] a component to revalidate
+            # itself prior to approving future requests".
+            self._send(
+                {
+                    "kind": "result",
+                    "call_id": inner["call_id"],
+                    "error": "ChannelRevoked: revalidation required",
+                },
+                allow_when_revoked=True,
+            )
+            return
+        response: dict[str, Any] = {"kind": "result", "call_id": inner["call_id"]}
+        try:
+            response["value"] = self.exporter.dispatch(
+                inner["target"], inner["method"], inner.get("args", [])
+            )
+        except Exception as exc:  # noqa: BLE001 - errors cross the wire as text
+            response["error"] = f"{type(exc).__name__}: {exc}"
+        self._send(response, allow_when_revoked=True)
+
+    def _complete_call(self, inner: dict) -> None:
+        pending = self._pending.pop(inner["call_id"], None)
+        if pending is None:
+            return
+        if "error" in inner:
+            pending.fail(inner["error"])
+        else:
+            pending.resolve(inner.get("value"))
+
+    def _serve_revalidate(self, inner: dict) -> None:
+        credentials = [delegation_from_wire(c) for c in inner.get("credentials", [])]
+        suite = self.endpoint.suite_for(self.conn_id)
+        response: dict[str, Any] = {"kind": "revalidated", "call_id": inner["call_id"]}
+        try:
+            new_monitor = suite.authorizer.authorize(self.peer_identity, credentials)
+        except HandshakeError as exc:
+            response["error"] = str(exc)
+            self._send(response, allow_when_revoked=True)
+            return
+        self.monitor.close()
+        self.monitor = new_monitor
+        new_monitor.on_change(self._on_trust_change)
+        self.state = ChannelState.OPEN
+        response["ok"] = True
+        self._send(response, allow_when_revoked=True)
+
+    def _complete_revalidate(self, inner: dict) -> None:
+        pending = self._pending.pop(inner["call_id"], None)
+        if "error" not in inner:
+            self.state = ChannelState.OPEN
+        if pending is None:
+            return
+        if "error" in inner:
+            pending.fail(inner["error"])
+        else:
+            pending.resolve(True)
+
+    def _on_trust_change(self, credential_id: str) -> None:
+        if self.state in (ChannelState.CLOSED, ChannelState.DEAD):
+            return
+        try:
+            self._send(
+                {"kind": "revoked", "credential_id": credential_id},
+                allow_when_revoked=True,
+            )
+        except SwitchboardError:
+            pass
+        self._transition(ChannelState.REVOKED, credential_id)
+
+    def _transition(self, state: ChannelState, reason: str) -> None:
+        if self.state is state:
+            return
+        self.state = state
+        if state in (ChannelState.DEAD, ChannelState.CLOSED):
+            self.stop_heartbeats()
+        if state is not ChannelState.OPEN:
+            self.streams.abort_all()
+        for callback in list(self._trust_callbacks):
+            callback(reason)
+
+    def _teardown(self, state: ChannelState) -> None:
+        self.stop_heartbeats()
+        self.stop_expiry_watch()
+        self.monitor.close()
+        self.state = state
+        self.endpoint._forget(self.conn_id)
+
+
+class SwitchboardEndpoint:
+    """Per-node Switchboard service: accepts and initiates connections."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        node_name: str,
+        *,
+        directory: DirectoryLookup | None = None,
+    ) -> None:
+        self.transport = transport
+        self.node_name = node_name
+        self.directory = directory
+        self.exporter = ObjectExporter()
+        self._listeners: dict[str, AuthorizationSuite] = {}
+        self._connections: dict[str, SwitchboardConnection] = {}
+        self._conn_suites: dict[str, AuthorizationSuite] = {}
+        self._dials: dict[str, _Dial] = {}
+        transport.network.node(node_name).bind(SWITCHBOARD_SERVICE, self._on_frame)
+
+    # -- server side -----------------------------------------------------------
+
+    def listen(self, service_name: str, suite: AuthorizationSuite) -> None:
+        """Accept connections addressed to ``service_name`` with ``suite``."""
+        self._listeners[service_name] = suite
+
+    def export(self, name: str, obj: Any) -> None:
+        self.exporter.export(name, obj)
+
+    # -- client side ------------------------------------------------------------
+
+    def connect(
+        self, remote_node: str, remote_service: str, suite: AuthorizationSuite
+    ) -> "PendingConnection":
+        """Initiate a handshake; returns a future SwitchboardConnection."""
+        conn_id = f"conn-{next(_conn_ids)}-{secrets.token_hex(4)}"
+        dh = DiffieHellman()
+        nonce = secrets.token_hex(16)
+        dial = _Dial(conn_id=conn_id, suite=suite, dh=dh, nonce=nonce)
+        self._dials[conn_id] = dial
+        self._conn_suites[conn_id] = suite
+        signature = suite.identity.sign(
+            _handshake_bytes(conn_id, "initiator", dh.public_value, [nonce])
+        )
+        self.transport.send(
+            self.node_name,
+            remote_node,
+            SWITCHBOARD_SERVICE,
+            encode_frame(
+                {
+                    "type": "hello",
+                    "conn_id": conn_id,
+                    "service": remote_service,
+                    "reply_to": self.node_name,
+                    "identity": public_identity_to_wire(suite.identity.public),
+                    "dh": f"{dh.public_value:x}",
+                    "nonce": nonce,
+                    "credentials": [delegation_to_wire(c) for c in suite.credentials],
+                    "sig": signature.hex(),
+                }
+            ),
+        )
+        return PendingConnection(dial, self.transport.scheduler)
+
+    # -- shared ---------------------------------------------------------------------
+
+    def connections(self) -> list[SwitchboardConnection]:
+        return list(self._connections.values())
+
+    def suite_for(self, conn_id: str) -> AuthorizationSuite:
+        suite = self._conn_suites.get(conn_id)
+        if suite is None:
+            raise SwitchboardError(f"no suite recorded for connection {conn_id}")
+        return suite
+
+    def _forget(self, conn_id: str) -> None:
+        self._connections.pop(conn_id, None)
+        self._conn_suites.pop(conn_id, None)
+
+    def _check_binding(self, claimed: PublicIdentity) -> None:
+        """Reject identities whose key contradicts the PKI directory."""
+        if self.directory is None:
+            return
+        expected = self.directory(claimed.name)
+        if expected is not None and expected.public_key != claimed.public_key:
+            raise HandshakeError(
+                f"identity binding mismatch for {claimed.name!r}"
+            )
+
+    # -- frame handling -----------------------------------------------------------
+
+    def _on_frame(self, payload: bytes, sender: str) -> None:
+        outer = decode_frame(payload)
+        kind = outer.get("type")
+        if kind == "hello":
+            self._on_hello(outer, sender)
+        elif kind == "welcome":
+            self._on_welcome(outer, sender)
+        elif kind == "reject":
+            self._on_reject(outer)
+        elif kind == "data":
+            conn = self._connections.get(outer.get("conn_id", ""))
+            if conn is not None:
+                conn._receive(outer)
+        else:
+            raise SwitchboardError(f"unknown switchboard frame {kind!r}")
+
+    def _on_hello(self, outer: dict, sender: str) -> None:
+        conn_id = outer["conn_id"]
+
+        def reject(reason: str) -> None:
+            self.transport.send(
+                self.node_name,
+                outer["reply_to"],
+                SWITCHBOARD_SERVICE,
+                encode_frame({"type": "reject", "conn_id": conn_id, "reason": reason}),
+            )
+
+        suite = self._listeners.get(outer.get("service", ""))
+        if suite is None:
+            reject(f"no such service {outer.get('service')!r}")
+            return
+        try:
+            peer_identity = public_identity_from_wire(outer["identity"])
+            self._check_binding(peer_identity)
+            peer_dh = int(outer["dh"], 16)
+            expected = _handshake_bytes(conn_id, "initiator", peer_dh, [outer["nonce"]])
+            if not peer_identity.verify(expected, bytes.fromhex(outer["sig"])):
+                raise HandshakeError("initiator signature invalid")
+            credentials = [delegation_from_wire(c) for c in outer["credentials"]]
+            monitor = suite.authorizer.authorize(peer_identity, credentials)
+        except (SwitchboardError, ValueError, KeyError) as exc:
+            reject(str(exc))
+            return
+
+        dh = DiffieHellman()
+        session_key = dh.compute_shared(peer_dh)
+        nonce = secrets.token_hex(16)
+        connection = SwitchboardConnection(
+            endpoint=self,
+            conn_id=conn_id,
+            peer_node=outer["reply_to"],
+            peer_identity=peer_identity,
+            cipher=AuthenticatedCipher(session_key),
+            monitor=monitor,
+            exporter=self.exporter,
+            is_initiator=False,
+        )
+        self._connections[conn_id] = connection
+        self._conn_suites[conn_id] = suite
+        signature = suite.identity.sign(
+            _handshake_bytes(
+                conn_id, "responder", dh.public_value, [outer["nonce"], nonce]
+            )
+        )
+        self.transport.send(
+            self.node_name,
+            outer["reply_to"],
+            SWITCHBOARD_SERVICE,
+            encode_frame(
+                {
+                    "type": "welcome",
+                    "conn_id": conn_id,
+                    "reply_to": self.node_name,
+                    "identity": public_identity_to_wire(suite.identity.public),
+                    "dh": f"{dh.public_value:x}",
+                    "client_nonce": outer["nonce"],
+                    "nonce": nonce,
+                    "credentials": [delegation_to_wire(c) for c in suite.credentials],
+                    "sig": signature.hex(),
+                }
+            ),
+        )
+
+    def _on_welcome(self, outer: dict, sender: str) -> None:
+        dial = self._dials.pop(outer.get("conn_id", ""), None)
+        if dial is None:
+            return
+        try:
+            peer_identity = public_identity_from_wire(outer["identity"])
+            self._check_binding(peer_identity)
+            peer_dh = int(outer["dh"], 16)
+            if outer.get("client_nonce") != dial.nonce:
+                raise HandshakeError("responder echoed wrong nonce")
+            expected = _handshake_bytes(
+                outer["conn_id"], "responder", peer_dh, [dial.nonce, outer["nonce"]]
+            )
+            if not peer_identity.verify(expected, bytes.fromhex(outer["sig"])):
+                raise HandshakeError("responder signature invalid")
+            credentials = [delegation_from_wire(c) for c in outer["credentials"]]
+            monitor = dial.suite.authorizer.authorize(peer_identity, credentials)
+            session_key = dial.dh.compute_shared(peer_dh)
+        except (SwitchboardError, ValueError, KeyError) as exc:
+            dial.fail(str(exc))
+            self._conn_suites.pop(outer.get("conn_id", ""), None)
+            return
+        connection = SwitchboardConnection(
+            endpoint=self,
+            conn_id=outer["conn_id"],
+            peer_node=outer["reply_to"],
+            peer_identity=peer_identity,
+            cipher=AuthenticatedCipher(session_key),
+            monitor=monitor,
+            exporter=self.exporter,
+            is_initiator=True,
+        )
+        self._connections[outer["conn_id"]] = connection
+        dial.resolve(connection)
+
+    def _on_reject(self, outer: dict) -> None:
+        dial = self._dials.pop(outer.get("conn_id", ""), None)
+        if dial is not None:
+            dial.fail(outer.get("reason", "rejected"))
+            self._conn_suites.pop(outer.get("conn_id", ""), None)
+
+
+@dataclass
+class _Dial:
+    """Client-side handshake state awaiting WELCOME/REJECT."""
+
+    conn_id: str
+    suite: AuthorizationSuite
+    dh: DiffieHellman
+    nonce: str
+    done: bool = False
+    connection: Optional[SwitchboardConnection] = None
+    error: Optional[str] = None
+
+    def resolve(self, connection: SwitchboardConnection) -> None:
+        self.done = True
+        self.connection = connection
+
+    def fail(self, reason: str) -> None:
+        self.done = True
+        self.error = reason
+
+
+class PendingConnection:
+    """Future for an in-flight handshake."""
+
+    def __init__(self, dial: _Dial, scheduler) -> None:
+        self._dial = dial
+        self._scheduler = scheduler
+
+    @property
+    def done(self) -> bool:
+        return self._dial.done
+
+    @property
+    def connection(self) -> SwitchboardConnection:
+        if not self._dial.done:
+            raise SwitchboardError("handshake not complete")
+        if self._dial.error is not None:
+            raise HandshakeError(self._dial.error)
+        assert self._dial.connection is not None
+        return self._dial.connection
+
+    def wait(self, *, max_events: int = 100_000) -> SwitchboardConnection:
+        steps = 0
+        while not self._dial.done:
+            if not self._scheduler.step():
+                raise HandshakeError("event queue drained before handshake completed")
+            steps += 1
+            if steps > max_events:
+                raise HandshakeError("handshake did not complete")
+        return self.connection

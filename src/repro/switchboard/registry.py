@@ -1,0 +1,48 @@
+"""Switchboard naming: the ``Switchboard.lookup(...)`` of Table 5.
+
+Maps service names to (node, endpoint service) pairs so generated views
+can resolve their *switchboard*-typed interfaces symbolically, and plain
+``rmi``-typed interfaces can resolve through :class:`RmiNaming` — the
+stand-in for ``Naming.lookup`` in the generated Java code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SwitchboardError
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceAddress:
+    """Where a named service lives."""
+
+    node: str
+    service: str
+    target: str
+    """Exported object name to address calls to."""
+
+
+class NamingRegistry:
+    """Shared name → address table (one per simulated universe)."""
+
+    def __init__(self) -> None:
+        self._bindings: dict[str, ServiceAddress] = {}
+
+    def bind(self, name: str, address: ServiceAddress) -> None:
+        self._bindings[name] = address
+
+    def unbind(self, name: str) -> None:
+        self._bindings.pop(name, None)
+
+    def lookup(self, name: str) -> ServiceAddress:
+        address = self._bindings.get(name)
+        if address is None:
+            raise SwitchboardError(f"no binding for {name!r}")
+        return address
+
+    def names(self) -> list[str]:
+        return sorted(self._bindings)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings

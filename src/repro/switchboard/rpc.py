@@ -1,0 +1,267 @@
+"""RPC machinery: futures, plain (RMI-style) remote calls, and dispatch.
+
+Two transport personalities share this module:
+
+* :class:`PlainRpcEndpoint` — the stand-in for Java RMI.  Frames are
+  plaintext JSON; anyone observing an insecure link reads arguments and
+  results verbatim.  Views whose interfaces are typed ``rmi`` route
+  through this.
+* :class:`~repro.switchboard.channel.SwitchboardConnection` — reuses
+  :class:`PendingCall` and the dispatch helpers but encrypts and
+  sequence-protects every frame.
+
+The simulation is single-threaded over virtual time, so remote calls
+return :class:`PendingCall` futures; :meth:`PendingCall.wait` pumps the
+event scheduler until the result lands (only valid from driver code, not
+from inside an event handler).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..errors import NetworkError, SwitchboardError
+from ..net.events import EventScheduler
+from ..net.transport import Transport
+
+_call_ids = itertools.count(1)
+
+PLAIN_RPC_SERVICE = "rmi"
+
+
+class RemoteError(SwitchboardError):
+    """An exception raised by the remote method, re-raised locally."""
+
+
+@dataclass
+class PendingCall:
+    """Future for an in-flight remote call."""
+
+    call_id: int
+    method: str
+    done: bool = False
+    _value: Any = None
+    _error: Optional[str] = None
+    _scheduler: EventScheduler | None = field(default=None, repr=False)
+
+    def resolve(self, value: Any) -> None:
+        self.done = True
+        self._value = value
+
+    def fail(self, message: str) -> None:
+        self.done = True
+        self._error = message
+
+    @property
+    def value(self) -> Any:
+        if not self.done:
+            raise SwitchboardError(f"call {self.method!r} not complete")
+        if self._error is not None:
+            raise RemoteError(self._error)
+        return self._value
+
+    def wait(self, *, max_events: int = 100_000) -> Any:
+        """Pump the scheduler until this call completes, then return."""
+        if self._scheduler is None:
+            raise SwitchboardError("no scheduler attached; cannot wait")
+        steps = 0
+        while not self.done:
+            if not self._scheduler.step():
+                raise SwitchboardError(
+                    f"event queue drained before call {self.method!r} completed"
+                )
+            steps += 1
+            if steps > max_events:
+                raise SwitchboardError(
+                    f"call {self.method!r} did not complete within {max_events} events"
+                )
+        return self.value
+
+
+class ObjectExporter:
+    """Name → object table with safe method dispatch.
+
+    Dispatch refuses private names and non-callable attributes so a remote
+    caller cannot walk into implementation details.
+    """
+
+    def __init__(self) -> None:
+        self._objects: dict[str, Any] = {}
+
+    def export(self, name: str, obj: Any) -> None:
+        self._objects[name] = obj
+
+    def unexport(self, name: str) -> None:
+        self._objects.pop(name, None)
+
+    def exported_names(self) -> list[str]:
+        return sorted(self._objects)
+
+    def dispatch(self, target: str, method: str, args: list) -> Any:
+        obj = self._objects.get(target)
+        if obj is None:
+            raise SwitchboardError(f"no exported object {target!r}")
+        if method.startswith("_"):
+            raise SwitchboardError(f"refusing to call private method {method!r}")
+        fn = getattr(obj, method, None)
+        if not callable(fn):
+            raise SwitchboardError(f"{target!r} has no callable method {method!r}")
+        return fn(*args)
+
+
+class PlainRpcEndpoint:
+    """Unencrypted request/response RPC bound to one simulated node.
+
+    The Java-RMI stand-in: method name, arguments, and results cross the
+    network as readable JSON.
+    """
+
+    def __init__(self, transport: Transport, node_name: str) -> None:
+        self.transport = transport
+        self.node_name = node_name
+        self.exporter = ObjectExporter()
+        self._pending: dict[int, PendingCall] = {}
+        transport.network.node(node_name).bind(PLAIN_RPC_SERVICE, self._on_frame)
+
+    # -- client side --------------------------------------------------------
+
+    def call(
+        self, remote_node: str, target: str, method: str, args: list | None = None
+    ) -> PendingCall:
+        call_id = next(_call_ids)
+        pending = PendingCall(
+            call_id=call_id, method=method, _scheduler=self.transport.scheduler
+        )
+        self._pending[call_id] = pending
+        frame = {
+            "type": "call",
+            "call_id": call_id,
+            "reply_to": self.node_name,
+            "target": target,
+            "method": method,
+            "args": args or [],
+        }
+        try:
+            self.transport.send(
+                self.node_name, remote_node, PLAIN_RPC_SERVICE, encode_frame(frame)
+            )
+        except NetworkError as exc:
+            del self._pending[call_id]
+            pending.fail(str(exc))
+        return pending
+
+    def call_sync(
+        self, remote_node: str, target: str, method: str, args: list | None = None
+    ) -> Any:
+        return self.call(remote_node, target, method, args).wait()
+
+    def call_with_retry(
+        self,
+        remote_node: str,
+        target: str,
+        method: str,
+        args: list | None = None,
+        *,
+        timeout: float = 1.0,
+        retries: int = 3,
+    ) -> PendingCall:
+        """At-least-once invocation over lossy links.
+
+        Re-sends the same call (same call id, so a late original response
+        still completes it) when no response arrives within ``timeout``.
+        The remote method may execute more than once — callers pick this
+        for idempotent operations; exactly-once semantics belong to the
+        Switchboard layer's sequencing.
+        """
+        call_id = next(_call_ids)
+        pending = PendingCall(
+            call_id=call_id, method=method, _scheduler=self.transport.scheduler
+        )
+        self._pending[call_id] = pending
+        frame = encode_frame(
+            {
+                "type": "call",
+                "call_id": call_id,
+                "reply_to": self.node_name,
+                "target": target,
+                "method": method,
+                "args": args or [],
+            }
+        )
+        attempts_left = retries
+
+        def transmit() -> None:
+            try:
+                self.transport.send(self.node_name, remote_node, PLAIN_RPC_SERVICE, frame)
+            except NetworkError as exc:
+                self._pending.pop(call_id, None)
+                pending.fail(str(exc))
+                return
+            self.transport.scheduler.schedule(timeout, check)
+
+        def check() -> None:
+            nonlocal attempts_left
+            if pending.done:
+                return
+            if attempts_left <= 0:
+                self._pending.pop(call_id, None)
+                pending.fail(
+                    f"no response from {remote_node}/{target}.{method} after "
+                    f"{retries + 1} attempts"
+                )
+                return
+            attempts_left -= 1
+            transmit()
+
+        transmit()
+        return pending
+
+    # -- server side ---------------------------------------------------------
+
+    def _on_frame(self, payload: bytes, sender: str) -> None:
+        frame = decode_frame(payload)
+        kind = frame.get("type")
+        if kind == "call":
+            self._serve(frame)
+        elif kind == "result":
+            self._complete(frame)
+        else:
+            raise SwitchboardError(f"unknown RPC frame type {kind!r}")
+
+    def _serve(self, frame: dict) -> None:
+        response: dict[str, Any] = {"type": "result", "call_id": frame["call_id"]}
+        try:
+            response["value"] = self.exporter.dispatch(
+                frame["target"], frame["method"], frame.get("args", [])
+            )
+        except Exception as exc:  # noqa: BLE001 - errors cross the wire as text
+            response["error"] = f"{type(exc).__name__}: {exc}"
+        self.transport.send(
+            self.node_name, frame["reply_to"], PLAIN_RPC_SERVICE, encode_frame(response)
+        )
+
+    def _complete(self, frame: dict) -> None:
+        pending = self._pending.pop(frame["call_id"], None)
+        if pending is None:
+            return  # response for a forgotten call
+        if "error" in frame:
+            pending.fail(frame["error"])
+        else:
+            pending.resolve(frame.get("value"))
+
+
+def encode_frame(frame: dict) -> bytes:
+    return json.dumps(frame, separators=(",", ":")).encode()
+
+
+def decode_frame(payload: bytes) -> dict:
+    try:
+        frame = json.loads(payload.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SwitchboardError(f"undecodable RPC frame: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise SwitchboardError("RPC frame must be a JSON object")
+    return frame

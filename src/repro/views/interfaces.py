@@ -1,0 +1,102 @@
+"""Typed interfaces: the unit of view restriction and component linkage.
+
+Components "implement and require typed interfaces" (§2.1) and views
+restrict "a list of implemented interfaces" (§4.1).  An
+:class:`InterfaceDef` is a named, ordered set of method signatures;
+:func:`interface_from_class` derives one from a plain Python class used as
+an interface declaration (the analogue of a Java ``interface``).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class MethodSig:
+    """A method name plus its positional parameter names (sans ``self``)."""
+
+    name: str
+    params: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.params)})"
+
+
+@dataclass(frozen=True)
+class InterfaceDef:
+    """A named interface: an ordered collection of method signatures."""
+
+    name: str
+    methods: tuple[MethodSig, ...] = ()
+
+    def method_names(self) -> tuple[str, ...]:
+        return tuple(m.name for m in self.methods)
+
+    def method(self, name: str) -> MethodSig:
+        for sig in self.methods:
+            if sig.name == name:
+                return sig
+        raise KeyError(f"interface {self.name} has no method {name!r}")
+
+    def __contains__(self, method_name: str) -> bool:
+        return any(m.name == method_name for m in self.methods)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def interface_from_class(cls: type, name: str | None = None) -> InterfaceDef:
+    """Derive an :class:`InterfaceDef` from a Python class.
+
+    Every public function defined *directly on the class* (not inherited)
+    becomes an interface method; parameter names are taken from the
+    signature, dropping ``self``.
+    """
+    methods: list[MethodSig] = []
+    for attr_name, attr in vars(cls).items():
+        if attr_name.startswith("_") or not callable(attr):
+            continue
+        try:
+            params = [
+                p.name
+                for p in inspect.signature(attr).parameters.values()
+                if p.name != "self"
+                and p.kind
+                in (
+                    inspect.Parameter.POSITIONAL_ONLY,
+                    inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                )
+            ]
+        except (TypeError, ValueError):
+            params = []
+        methods.append(MethodSig(name=attr_name, params=tuple(params)))
+    methods.sort(key=lambda m: m.name)
+    return InterfaceDef(name=name or cls.__name__, methods=tuple(methods))
+
+
+@dataclass
+class InterfaceRegistry:
+    """Name → interface table shared by a scenario."""
+
+    _interfaces: dict[str, InterfaceDef] = field(default_factory=dict)
+
+    def register(self, interface: InterfaceDef) -> InterfaceDef:
+        self._interfaces[interface.name] = interface
+        return interface
+
+    def register_class(self, cls: type, name: str | None = None) -> InterfaceDef:
+        return self.register(interface_from_class(cls, name))
+
+    def get(self, name: str) -> InterfaceDef:
+        try:
+            return self._interfaces[name]
+        except KeyError:
+            raise KeyError(f"unknown interface {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._interfaces
+
+    def names(self) -> list[str]:
+        return sorted(self._interfaces)

@@ -1,0 +1,67 @@
+"""Per-call ACL baseline tests (the Legion-MayI foil for single sign-on)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.acl_per_call import PerCallGuardedService
+from repro.errors import AuthorizationError
+
+
+class Store:
+    def __init__(self):
+        self.items = []
+
+    def read(self):
+        return list(self.items)
+
+    def write(self, item):
+        self.items.append(item)
+        return len(self.items)
+
+
+class TestPerCallChecks:
+    def test_authorized_call_passes(self, engine):
+        engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        service = PerCallGuardedService(Store(), engine, "Comp.NY.Member")
+        assert service.invoke("Alice", "write", ["x"]) == 1
+
+    def test_unauthorized_denied(self, engine):
+        service = PerCallGuardedService(Store(), engine, "Comp.NY.Member")
+        with pytest.raises(AuthorizationError):
+            service.invoke("Mallory", "read")
+        assert service.stats.denials == 1
+
+    def test_every_call_runs_a_proof(self, engine):
+        engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        service = PerCallGuardedService(Store(), engine, "Comp.NY.Member")
+        for _ in range(5):
+            service.invoke("Alice", "read")
+        assert service.stats.proofs_run == 5
+        assert service.stats.calls == 5
+
+    def test_per_method_roles(self, engine):
+        engine.delegate("Comp.NY", "Reader", "Comp.NY.Member")
+        service = PerCallGuardedService(
+            Store(),
+            engine,
+            "Comp.NY.Member",
+            method_roles={"write": "Comp.NY.Admin"},
+        )
+        assert service.invoke("Reader", "read") == []
+        with pytest.raises(AuthorizationError):
+            service.invoke("Reader", "write", ["x"])
+
+    def test_revocation_takes_effect_immediately(self, engine):
+        cred = engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        service = PerCallGuardedService(Store(), engine, "Comp.NY.Member")
+        service.invoke("Alice", "read")
+        engine.revoke(cred)
+        with pytest.raises(AuthorizationError):
+            service.invoke("Alice", "read")
+
+    def test_presented_credentials(self, engine):
+        leaf = engine.delegate("Comp.SD", "Bob", "Comp.SD.Member", publish=False)
+        engine.delegate("Comp.NY", "Comp.SD.Member", "Comp.NY.Member")
+        service = PerCallGuardedService(Store(), engine, "Comp.NY.Member")
+        assert service.invoke("Bob", "read", credentials=[leaf]) == []

@@ -1,0 +1,58 @@
+"""CAS baseline tests: the C x (P + U) storage model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.cas import CasDeployment
+
+
+class TestStorage:
+    @given(st.integers(1, 6), st.integers(0, 10), st.integers(0, 10))
+    def test_records_are_c_times_p_plus_u(self, c, p, u):
+        deployment = CasDeployment()
+        for k in range(c):
+            deployment.add_community(f"com{k}")
+        for i in range(p):
+            deployment.add_provider(f"prov{i}")  # trusts all communities
+        for j in range(u):
+            deployment.enroll_user(f"user{j}")  # joins all communities
+        assert deployment.total_records == c * (p + u)
+
+
+class TestAuthorization:
+    def _world(self):
+        deployment = CasDeployment()
+        deployment.add_community("science")
+        deployment.add_provider("p1")
+        deployment.enroll_user("alice", ["science"])
+        return deployment
+
+    def test_member_authorized(self):
+        deployment = self._world()
+        assert deployment.authorize("p1", "science", "alice")
+
+    def test_non_member_denied(self):
+        deployment = self._world()
+        assert not deployment.authorize("p1", "science", "mallory")
+
+    def test_untrusted_community_denied(self):
+        deployment = self._world()
+        deployment.add_community("games")
+        deployment.enroll_user("bob", ["games"])
+        provider = deployment.providers["p1"]
+        assert not provider.authorize(
+            deployment.communities["games"].issue_capability("bob")
+        )
+
+    def test_capability_format(self):
+        deployment = self._world()
+        cap = deployment.communities["science"].issue_capability("alice")
+        assert cap == "cas:science:alice"
+
+    def test_garbage_capability_denied(self):
+        deployment = self._world()
+        assert not deployment.providers["p1"].authorize("not-a-cap")
+        assert not deployment.providers["p1"].authorize(None)

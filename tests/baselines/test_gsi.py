@@ -1,0 +1,49 @@
+"""GSI baseline tests: the P x U storage model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.gsi import GsiDeployment
+
+
+class TestStorage:
+    @given(st.integers(0, 12), st.integers(0, 12))
+    def test_records_are_p_times_u(self, p, u):
+        deployment = GsiDeployment()
+        for i in range(p):
+            deployment.add_provider(f"prov{i}")
+        for j in range(u):
+            deployment.add_user(f"user{j}")
+        assert deployment.total_records == p * u
+
+    def test_late_provider_sync_restores_invariant(self):
+        deployment = GsiDeployment()
+        deployment.add_user("u1")
+        deployment.add_user("u2")
+        deployment.add_provider("p1")
+        deployment.sync()
+        assert deployment.total_records == 2
+
+
+class TestAuthorization:
+    def test_enrolled_user_authorized_everywhere(self):
+        deployment = GsiDeployment()
+        deployment.add_provider("p1")
+        deployment.add_provider("p2")
+        deployment.add_user("alice")
+        assert deployment.authorize("p1", "alice")
+        assert deployment.authorize("p2", "alice")
+
+    def test_unknown_user_denied(self):
+        deployment = GsiDeployment()
+        deployment.add_provider("p1")
+        assert not deployment.authorize("p1", "mallory")
+
+    def test_gridmap_maps_to_local_account(self):
+        deployment = GsiDeployment()
+        provider = deployment.add_provider("p1")
+        deployment.add_user("alice")
+        assert provider._gridmap["alice"].local_account == "p1:alice"

@@ -1,0 +1,52 @@
+"""Shared fixtures.
+
+RSA key generation dominates test time, so a session-scoped
+:class:`~repro.crypto.KeyStore` with small (but real) 512-bit keys is
+shared by every test that doesn't specifically exercise key generation,
+and the full mail scenario is built once for read-only assertions
+(mutating tests request a fresh one via ``scenario_factory``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import ManualClock
+from repro.crypto import KeyStore
+from repro.drbac import DrbacEngine
+from repro.mail import build_scenario
+
+TEST_KEY_BITS = 512
+
+
+@pytest.fixture(scope="session")
+def key_store() -> KeyStore:
+    return KeyStore(key_bits=TEST_KEY_BITS)
+
+
+@pytest.fixture()
+def clock() -> ManualClock:
+    return ManualClock()
+
+
+@pytest.fixture()
+def engine(key_store: KeyStore, clock: ManualClock) -> DrbacEngine:
+    """A fresh dRBAC engine sharing the session key cache."""
+    return DrbacEngine(key_store=key_store, clock=clock)
+
+
+@pytest.fixture(scope="session")
+def shared_scenario(key_store: KeyStore):
+    """One mail scenario for read-only assertions (do not mutate)."""
+    return build_scenario(key_store=key_store)
+
+
+@pytest.fixture()
+def scenario_factory(key_store: KeyStore):
+    """Builder for tests that deploy, revoke, or otherwise mutate."""
+
+    def build(**kwargs):
+        kwargs.setdefault("key_store", key_store)
+        return build_scenario(**kwargs)
+
+    return build

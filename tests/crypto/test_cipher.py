@@ -1,0 +1,92 @@
+"""Authenticated cipher tests: confidentiality + integrity + AD binding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.cipher import AuthenticatedCipher
+from repro.errors import CipherError
+
+KEY = b"k" * 32
+
+
+@pytest.fixture()
+def cipher():
+    return AuthenticatedCipher(KEY)
+
+
+class TestRoundtrip:
+    def test_basic(self, cipher):
+        frame = cipher.encrypt(b"attack at dawn")
+        assert cipher.decrypt(frame) == b"attack at dawn"
+
+    def test_empty_plaintext(self, cipher):
+        assert cipher.decrypt(cipher.encrypt(b"")) == b""
+
+    def test_large_plaintext(self, cipher):
+        data = bytes(range(256)) * 512
+        assert cipher.decrypt(cipher.encrypt(data)) == data
+
+    def test_with_associated_data(self, cipher):
+        frame = cipher.encrypt(b"payload", b"seq-7")
+        assert cipher.decrypt(frame, b"seq-7") == b"payload"
+
+    @given(st.binary(max_size=2048), st.binary(max_size=64))
+    def test_property_roundtrip(self, plaintext, ad):
+        c = AuthenticatedCipher(KEY)
+        assert c.decrypt(c.encrypt(plaintext, ad), ad) == plaintext
+
+    def test_nonce_randomization(self, cipher):
+        assert cipher.encrypt(b"x") != cipher.encrypt(b"x")
+
+
+class TestRejection:
+    def test_tampered_ciphertext(self, cipher):
+        frame = bytearray(cipher.encrypt(b"secret data"))
+        frame[20] ^= 0x01
+        with pytest.raises(CipherError):
+            cipher.decrypt(bytes(frame))
+
+    def test_tampered_nonce(self, cipher):
+        frame = bytearray(cipher.encrypt(b"secret data"))
+        frame[0] ^= 0x01
+        with pytest.raises(CipherError):
+            cipher.decrypt(bytes(frame))
+
+    def test_tampered_tag(self, cipher):
+        frame = bytearray(cipher.encrypt(b"secret data"))
+        frame[-1] ^= 0x01
+        with pytest.raises(CipherError):
+            cipher.decrypt(bytes(frame))
+
+    def test_wrong_associated_data(self, cipher):
+        frame = cipher.encrypt(b"payload", b"seq-7")
+        with pytest.raises(CipherError):
+            cipher.decrypt(frame, b"seq-8")
+
+    def test_truncated_frame(self, cipher):
+        with pytest.raises(CipherError):
+            cipher.decrypt(b"short")
+
+    def test_wrong_key(self):
+        frame = AuthenticatedCipher(KEY).encrypt(b"x")
+        with pytest.raises(CipherError):
+            AuthenticatedCipher(b"j" * 32).decrypt(frame)
+
+    def test_short_session_key_rejected(self):
+        with pytest.raises(CipherError):
+            AuthenticatedCipher(b"short")
+
+
+class TestConfidentiality:
+    def test_plaintext_not_visible(self, cipher):
+        frame = cipher.encrypt(b"TOPSECRET-MARKER" * 4)
+        assert b"TOPSECRET-MARKER" not in frame
+
+    def test_key_separation(self):
+        # Same session key, different derived enc/mac keys per domain.
+        c1 = AuthenticatedCipher(KEY)
+        c2 = AuthenticatedCipher(KEY)
+        assert c1.decrypt(c2.encrypt(b"cross")) == b"cross"

@@ -1,0 +1,39 @@
+"""Diffie-Hellman key agreement tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.dh import MODP_2048_PRIME, DiffieHellman
+from repro.errors import KeyExchangeError
+
+
+class TestAgreement:
+    def test_shared_secret_matches(self):
+        alice, bob = DiffieHellman(), DiffieHellman()
+        assert alice.compute_shared(bob.public_value) == bob.compute_shared(
+            alice.public_value
+        )
+
+    def test_shared_secret_is_32_bytes(self):
+        alice, bob = DiffieHellman(), DiffieHellman()
+        assert len(alice.compute_shared(bob.public_value)) == 32
+
+    def test_different_sessions_different_keys(self):
+        a1, b1 = DiffieHellman(), DiffieHellman()
+        a2, b2 = DiffieHellman(), DiffieHellman()
+        assert a1.compute_shared(b1.public_value) != a2.compute_shared(b2.public_value)
+
+    def test_public_values_differ(self):
+        assert DiffieHellman().public_value != DiffieHellman().public_value
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, 1, MODP_2048_PRIME - 1, MODP_2048_PRIME, -5])
+    def test_degenerate_peer_values_rejected(self, bad):
+        with pytest.raises(KeyExchangeError):
+            DiffieHellman().compute_shared(bad)
+
+    def test_public_value_in_range(self):
+        dh = DiffieHellman()
+        assert 1 < dh.public_value < MODP_2048_PRIME - 1

@@ -1,0 +1,114 @@
+"""Unit and property tests for the number-theory primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.numtheory import (
+    bytes_to_int,
+    egcd,
+    generate_distinct_primes,
+    generate_prime,
+    int_to_bytes,
+    is_probable_prime,
+    modinv,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 13, 101, 104729, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [1, 0, -7, 4, 9, 15, 561, 41041, 2**31 + 1, 104729 * 104729]
+# 561 and 41041 are Carmichael numbers — Fermat pseudoprimes that
+# Miller-Rabin must still reject.
+
+
+class TestEgcd:
+    def test_basic(self):
+        g, x, y = egcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == 2
+
+    def test_coprime(self):
+        g, x, y = egcd(17, 31)
+        assert g == 1
+        assert 17 * x + 31 * y == 1
+
+    def test_zero(self):
+        g, x, _ = egcd(5, 0)
+        assert g == 5
+        assert x == 1
+
+    @given(st.integers(min_value=1, max_value=10**12), st.integers(min_value=1, max_value=10**12))
+    def test_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        assert a % g == 0 and b % g == 0
+
+
+class TestModinv:
+    def test_known(self):
+        assert modinv(3, 11) == 4  # 3*4 = 12 = 1 mod 11
+
+    def test_not_invertible(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+    @given(st.integers(min_value=2, max_value=10**9))
+    def test_inverse_mod_prime(self, a):
+        p = 2**61 - 1
+        inv = modinv(a, p)
+        assert (a * inv) % p == 1
+
+    def test_negative_input_normalized(self):
+        inv = modinv(-3 % 11, 11)
+        assert (8 * inv) % 11 == 1
+
+
+class TestMillerRabin:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_accepts_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_rejects_composites(self, n):
+        assert not is_probable_prime(n)
+
+    def test_rejects_product_of_generated_primes(self):
+        p, q = generate_distinct_primes(64)
+        assert not is_probable_prime(p * q)
+
+
+class TestPrimeGeneration:
+    @pytest.mark.parametrize("bits", [16, 32, 64, 128])
+    def test_bit_length_exact(self, bits):
+        p = generate_prime(bits)
+        assert p.bit_length() == bits
+        assert is_probable_prime(p)
+
+    def test_distinct(self):
+        p, q = generate_distinct_primes(32)
+        assert p != q
+        assert is_probable_prime(p) and is_probable_prime(q)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)
+
+    def test_generated_primes_are_odd(self):
+        assert generate_prime(24) % 2 == 1
+
+
+class TestByteCodec:
+    @given(st.integers(min_value=0, max_value=2**512))
+    def test_roundtrip(self, n):
+        assert bytes_to_int(int_to_bytes(n)) == n
+
+    def test_zero(self):
+        assert int_to_bytes(0) == b"\x00"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(-1)
+
+    def test_big_endian(self):
+        assert int_to_bytes(0x0102) == b"\x01\x02"

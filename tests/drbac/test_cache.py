@@ -1,0 +1,101 @@
+"""Monitored proof-cache tests: hits, sound invalidation, eviction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drbac.cache import CachedAuthorizer
+from repro.errors import AuthorizationError
+
+
+class TestCaching:
+    def test_second_lookup_hits(self, engine):
+        engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        cache = CachedAuthorizer(engine)
+        first = cache.authorize("Alice", "Comp.NY.Member")
+        second = cache.authorize("Alice", "Comp.NY.Member")
+        assert first is second
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_distinct_goals_distinct_entries(self, engine):
+        engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        engine.delegate("Comp.NY", "Alice", "Comp.NY.Partner")
+        cache = CachedAuthorizer(engine)
+        cache.authorize("Alice", "Comp.NY.Member")
+        cache.authorize("Alice", "Comp.NY.Partner")
+        assert len(cache) == 2
+
+    def test_failure_not_cached(self, engine):
+        cache = CachedAuthorizer(engine)
+        with pytest.raises(AuthorizationError):
+            cache.authorize("Nobody", "Comp.NY.Member")
+        assert len(cache) == 0
+
+    def test_attribute_requirements_distinguish_entries(self, engine):
+        from repro.drbac.model import AttrSet
+
+        engine.delegate(
+            "Mail", "node1", "Mail.Node", attributes={"Secure": AttrSet([True])}
+        )
+        cache = CachedAuthorizer(engine)
+        cache.authorize("node1", "Mail.Node")
+        cache.authorize(
+            "node1", "Mail.Node", required_attributes={"Secure": AttrSet([True])}
+        )
+        assert cache.stats.misses == 2
+
+
+class TestSoundInvalidation:
+    def test_revocation_forces_fresh_search(self, engine):
+        cred = engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        backup = engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        cache = CachedAuthorizer(engine)
+        cache.authorize("Alice", "Comp.NY.Member")
+        engine.revoke(cred)
+        # The backup credential still authorizes, but through a new proof.
+        result = cache.authorize("Alice", "Comp.NY.Member")
+        assert result.valid
+        assert cache.stats.invalidated == 1
+        assert cred.credential_id not in {
+            d.credential_id for d in result.proof.all_delegations()
+        }
+
+    def test_revocation_without_backup_denies(self, engine):
+        cred = engine.delegate("Comp.NY", "Bobby", "Comp.NY.Member")
+        cache = CachedAuthorizer(engine)
+        cache.authorize("Bobby", "Comp.NY.Member")
+        engine.revoke(cred)
+        with pytest.raises(AuthorizationError):
+            cache.authorize("Bobby", "Comp.NY.Member")
+
+    def test_expiry_forces_fresh_search(self, engine, clock):
+        engine.delegate("Comp.NY", "Cleo", "Comp.NY.Member", expires_at=10.0)
+        cache = CachedAuthorizer(engine)
+        cache.authorize("Cleo", "Comp.NY.Member")
+        clock.advance(20.0)
+        with pytest.raises(AuthorizationError):
+            cache.authorize("Cleo", "Comp.NY.Member")
+        assert cache.stats.invalidated == 1
+
+
+class TestEviction:
+    def test_bounded_size(self, engine):
+        for i in range(6):
+            engine.delegate("Comp.NY", f"user{i}", "Comp.NY.Member")
+        cache = CachedAuthorizer(engine, max_entries=4)
+        for i in range(6):
+            cache.authorize(f"user{i}", "Comp.NY.Member")
+        assert len(cache) <= 4
+
+    def test_clear(self, engine):
+        engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        cache = CachedAuthorizer(engine)
+        cache.authorize("Alice", "Comp.NY.Member")
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_is_authorized_bool_form(self, engine):
+        engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        cache = CachedAuthorizer(engine)
+        assert cache.is_authorized("Alice", "Comp.NY.Member")
+        assert not cache.is_authorized("Nobody", "Comp.NY.Member")

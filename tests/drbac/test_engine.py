@@ -1,0 +1,76 @@
+"""DrbacEngine façade tests: delegate / authorize / monitor / queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drbac import DrbacEngine
+from repro.drbac.model import AttrSet, EntityRef, Role
+from repro.errors import AuthorizationError
+
+
+class TestDelegate:
+    def test_publishes_to_repository(self, engine):
+        engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        assert engine.repository.credential_count >= 1
+
+    def test_unpublished_stays_private(self, engine):
+        d = engine.delegate("Comp.NY", "Eve", "Comp.NY.Secret", publish=False)
+        assert engine.find_proof("Eve", "Comp.NY.Secret") is None
+        assert engine.find_proof("Eve", "Comp.NY.Secret", [d]) is not None
+
+    def test_string_subject_known_entity(self, engine):
+        engine.identity("Comp.SD")
+        d = engine.delegate("Comp.NY", "Comp.SD", "Comp.NY.Partner", assignment=True)
+        assert isinstance(d.subject, EntityRef)
+
+    def test_string_subject_role(self, engine):
+        d = engine.delegate("Comp.NY", "Comp.XX.Member", "Comp.NY.Member")
+        assert isinstance(d.subject, Role)
+
+
+class TestAuthorize:
+    def test_success_returns_monitored_result(self, engine):
+        engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        result = engine.authorize("Alice", "Comp.NY.Member")
+        assert result.valid
+        assert result.proof.role == Role("Comp.NY", "Member")
+
+    def test_failure_raises(self, engine):
+        with pytest.raises(AuthorizationError):
+            engine.authorize("Mallory", "Comp.NY.Member")
+
+    def test_revocation_invalidates_live_result(self, engine):
+        d = engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        result = engine.authorize("Alice", "Comp.NY.Member")
+        engine.revoke(d)
+        assert not result.valid
+
+    def test_revocation_blocks_future_proofs(self, engine):
+        d = engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        engine.revoke(d)
+        assert engine.find_proof("Alice", "Comp.NY.Member") is None
+
+    def test_expired_credentials_rejected(self, engine, clock):
+        engine.delegate("Comp.NY", "Alice", "Comp.NY.Member", expires_at=5.0)
+        clock.advance(10.0)
+        assert engine.find_proof("Alice", "Comp.NY.Member") is None
+
+
+class TestQueries:
+    def test_is_a_with_attributes(self, engine):
+        engine.delegate(
+            "Mail",
+            "node1",
+            "Mail.Node",
+            attributes={"Secure": AttrSet([True, False])},
+        )
+        assert engine.is_a("node1", "Mail.Node with Secure={true}") is not None
+        assert engine.is_a("node1", "Mail.Node with Secure={maybe}") is None
+
+    def test_is_a_unknown_subject(self, engine):
+        assert engine.is_a("ghost", "Mail.Node") is None
+
+    def test_direction_parameter(self, engine):
+        engine.delegate("A", "u", "A.R")
+        assert engine.find_proof("u", "A.R", direction="progression") is not None

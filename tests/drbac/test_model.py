@@ -1,0 +1,191 @@
+"""dRBAC model tests: roles, subjects, and attribute attenuation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.drbac.model import (
+    AttrRange,
+    AttrScalar,
+    AttrSet,
+    EntityRef,
+    IncompatibleAttributes,
+    Role,
+    attributes_satisfy,
+    meet_attributes,
+    parse_attribute,
+    parse_subject,
+    subject_key,
+)
+
+
+class TestRole:
+    def test_parse_splits_on_last_dot(self):
+        role = Role.parse("Comp.NY.Member")
+        assert role.owner == "Comp.NY"
+        assert role.name == "Member"
+
+    def test_str_roundtrip(self):
+        assert str(Role.parse("Inc.SE.Executable")) == "Inc.SE.Executable"
+
+    def test_simple_owner(self):
+        role = Role.parse("Mail.Node")
+        assert role.owner == "Mail"
+
+    @pytest.mark.parametrize("bad", ["NoDots", ".leading", "trailing.", ""])
+    def test_unparseable(self, bad):
+        with pytest.raises(ValueError):
+            Role.parse(bad)
+
+    def test_role_name_may_not_contain_dot(self):
+        with pytest.raises(ValueError):
+            Role(owner="A", name="B.C")
+
+
+class TestSubjects:
+    def test_entity_ref_str(self):
+        assert subject_key(EntityRef("Bob")) == "Bob"
+
+    def test_parse_subject_plain_name_is_entity(self):
+        assert isinstance(parse_subject("Bob"), EntityRef)
+
+    def test_parse_subject_dotted_is_role(self):
+        subject = parse_subject("Comp.SD.Member")
+        assert isinstance(subject, Role)
+
+    def test_parse_subject_known_entity_wins(self):
+        subject = parse_subject("Comp.SD", known_entities={"Comp.SD"})
+        assert isinstance(subject, EntityRef)
+
+    @pytest.mark.parametrize("bad", ["", ".x", "x."])
+    def test_entity_validation(self, bad):
+        with pytest.raises(ValueError):
+            EntityRef(bad)
+
+
+class TestAttrSet:
+    def test_meet_intersects(self):
+        result = AttrSet([True, False]).meet(AttrSet([True]))
+        assert result.values == frozenset([True])
+
+    def test_meet_disjoint_raises(self):
+        with pytest.raises(IncompatibleAttributes):
+            AttrSet([True]).meet(AttrSet([False]))
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(IncompatibleAttributes):
+            AttrSet([])
+
+    def test_satisfies_superset(self):
+        assert AttrSet([True, False]).satisfies(AttrSet([True]))
+        assert not AttrSet([False]).satisfies(AttrSet([True]))
+
+    def test_meet_with_range_rejected(self):
+        with pytest.raises(IncompatibleAttributes):
+            AttrSet([1]).meet(AttrRange(0, 1))
+
+    def test_str_sorted(self):
+        assert str(AttrSet(["b", "a"])) == "{a,b}"
+
+
+class TestAttrRange:
+    def test_meet_overlap(self):
+        result = AttrRange(0, 10).meet(AttrRange(5, 20))
+        assert (result.low, result.high) == (5, 10)
+
+    def test_meet_disjoint_raises(self):
+        with pytest.raises(IncompatibleAttributes):
+            AttrRange(0, 3).meet(AttrRange(5, 9))
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(IncompatibleAttributes):
+            AttrRange(9, 3)
+
+    def test_satisfies_subrange(self):
+        assert AttrRange(0, 10).satisfies(AttrRange(2, 7))
+        assert not AttrRange(0, 5).satisfies(AttrRange(2, 7))
+
+    def test_satisfies_scalar_inside(self):
+        assert AttrRange(0, 10).satisfies(AttrScalar(5))
+        assert not AttrRange(0, 10).satisfies(AttrScalar(15))
+
+    def test_meet_scalar_inside(self):
+        assert AttrRange(0, 10).meet(AttrScalar(5)) == AttrScalar(5)
+
+    def test_meet_scalar_outside_raises(self):
+        with pytest.raises(IncompatibleAttributes):
+            AttrRange(0, 10).meet(AttrScalar(15))
+
+    @given(
+        st.tuples(st.integers(-100, 100), st.integers(-100, 100)).map(sorted),
+        st.tuples(st.integers(-100, 100), st.integers(-100, 100)).map(sorted),
+    )
+    def test_meet_is_intersection(self, ab, cd):
+        a, b = ab
+        c, d = cd
+        try:
+            result = AttrRange(a, b).meet(AttrRange(c, d))
+        except IncompatibleAttributes:
+            assert max(a, c) > min(b, d)
+        else:
+            assert result.low == max(a, c) and result.high == min(b, d)
+
+
+class TestAttrScalar:
+    def test_meet_takes_min(self):
+        # Table 2's CPU chain: 100 attenuated by 80 -> 80.
+        assert AttrScalar(100).meet(AttrScalar(80)) == AttrScalar(80)
+
+    def test_satisfies_at_most(self):
+        assert AttrScalar(80).satisfies(AttrScalar(30))
+        assert not AttrScalar(80).satisfies(AttrScalar(90))
+
+    def test_str_integral(self):
+        assert str(AttrScalar(100)) == "100"
+
+
+class TestAttributeMaps:
+    def test_meet_maps_pass_through_missing_keys(self):
+        merged = meet_attributes(
+            {"CPU": AttrScalar(100)}, {"Trust": AttrRange(0, 5)}
+        )
+        assert set(merged) == {"CPU", "Trust"}
+
+    def test_meet_maps_attenuates_shared_keys(self):
+        merged = meet_attributes(
+            {"CPU": AttrScalar(100)}, {"CPU": AttrScalar(40)}
+        )
+        assert merged["CPU"] == AttrScalar(40)
+
+    def test_satisfy_requires_all_keys(self):
+        available = {"Secure": AttrSet([True, False])}
+        assert attributes_satisfy(available, {"Secure": AttrSet([True])})
+        assert not attributes_satisfy(available, {"Trust": AttrRange(0, 1)})
+
+    @given(st.lists(st.integers(1, 100), min_size=1, max_size=6))
+    def test_scalar_attenuation_is_min_of_chain(self, values):
+        acc = {}
+        for v in values:
+            acc = meet_attributes(acc, {"CPU": AttrScalar(v)})
+        assert acc["CPU"] == AttrScalar(min(values))
+
+
+class TestParseAttribute:
+    def test_set_of_bools(self):
+        value = parse_attribute("{true,false}")
+        assert value == AttrSet([True, False])
+
+    def test_range(self):
+        assert parse_attribute("(0,10)") == AttrRange(0, 10)
+
+    def test_scalar(self):
+        assert parse_attribute("100") == AttrScalar(100)
+
+    def test_bare_word_becomes_singleton_set(self):
+        assert parse_attribute("Linux") == AttrSet(["Linux"])
+
+    def test_malformed_range(self):
+        with pytest.raises(ValueError):
+            parse_attribute("(1,2,3)")

@@ -1,0 +1,141 @@
+"""Revocation and validity-monitor tests (the continuous-authorization
+substrate Switchboard builds on)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import KeyStore
+from repro.drbac.delegation import issue
+from repro.drbac.model import EntityRef, Role
+from repro.drbac.monitor import (
+    ProofMonitor,
+    RevocationAuthority,
+    RevocationDirectory,
+)
+
+
+@pytest.fixture(scope="module")
+def store():
+    return KeyStore(key_bits=512)
+
+
+def cred(store, issuer="A", subject="u", role="R", **kwargs):
+    return issue(store.identity(issuer), EntityRef(subject), Role(issuer, role), **kwargs)
+
+
+class TestRevocationAuthority:
+    def test_revoke_and_query(self):
+        auth = RevocationAuthority("A")
+        auth.revoke("c-1")
+        assert auth.is_revoked("c-1")
+        assert not auth.is_revoked("c-2")
+
+    def test_subscribers_notified(self):
+        auth = RevocationAuthority("A")
+        fired = []
+        auth.subscribe("c-1", fired.append)
+        auth.revoke("c-1")
+        assert fired == ["c-1"]
+
+    def test_late_subscriber_notified_immediately(self):
+        auth = RevocationAuthority("A")
+        auth.revoke("c-1")
+        fired = []
+        auth.subscribe("c-1", fired.append)
+        assert fired == ["c-1"]
+
+    def test_double_revoke_notifies_once(self):
+        auth = RevocationAuthority("A")
+        fired = []
+        auth.subscribe("c-1", fired.append)
+        auth.revoke("c-1")
+        auth.revoke("c-1")
+        assert fired == ["c-1"]
+
+    def test_unsubscribe(self):
+        auth = RevocationAuthority("A")
+        fired = []
+        cancel = auth.subscribe("c-1", fired.append)
+        cancel()
+        auth.revoke("c-1")
+        assert fired == []
+
+
+class TestRevocationDirectory:
+    def test_routes_by_home(self, store):
+        directory = RevocationDirectory()
+        c = cred(store)
+        directory.revoke(c)
+        assert directory.is_revoked(c)
+
+    def test_unrevoked_default(self, store):
+        directory = RevocationDirectory()
+        assert not directory.is_revoked(cred(store))
+
+    def test_separate_homes_are_independent(self, store):
+        directory = RevocationDirectory()
+        c1 = cred(store, issuer="A")
+        c2 = cred(store, issuer="B")
+        directory.revoke(c1)
+        assert directory.is_revoked(c1)
+        assert not directory.is_revoked(c2)
+
+
+class TestProofMonitor:
+    def test_valid_until_revocation(self, store):
+        directory = RevocationDirectory()
+        c = cred(store)
+        monitor = ProofMonitor([c], directory)
+        assert monitor.valid
+        directory.revoke(c)
+        assert not monitor.valid
+        assert monitor.invalidated_by == c.credential_id
+
+    def test_callback_fires_once(self, store):
+        directory = RevocationDirectory()
+        c1, c2 = cred(store), cred(store)
+        monitor = ProofMonitor([c1, c2], directory)
+        fired = []
+        monitor.on_invalidated(fired.append)
+        directory.revoke(c1)
+        directory.revoke(c2)
+        assert fired == [c1.credential_id]
+
+    def test_late_callback_gets_invalidation(self, store):
+        directory = RevocationDirectory()
+        c = cred(store)
+        monitor = ProofMonitor([c], directory)
+        directory.revoke(c)
+        fired = []
+        monitor.on_invalidated(fired.append)
+        assert fired == [c.credential_id]
+
+    def test_any_credential_in_proof_invalidates(self, store):
+        directory = RevocationDirectory()
+        creds = [cred(store, issuer=f"I{i}") for i in range(4)]
+        monitor = ProofMonitor(creds, directory)
+        directory.revoke(creds[2])
+        assert not monitor.valid
+
+    def test_expiry_check(self, store):
+        directory = RevocationDirectory()
+        c = cred(store, expires_at=10.0)
+        monitor = ProofMonitor([c], directory)
+        assert monitor.check_expiry(5.0)
+        assert not monitor.check_expiry(11.0)
+        assert not monitor.valid
+
+    def test_closed_monitor_ignores_revocation(self, store):
+        directory = RevocationDirectory()
+        c = cred(store)
+        monitor = ProofMonitor([c], directory)
+        monitor.close()
+        directory.revoke(c)
+        assert monitor.valid  # detached before the event
+
+    def test_watched_credentials(self, store):
+        directory = RevocationDirectory()
+        creds = [cred(store), cred(store)]
+        monitor = ProofMonitor(creds, directory)
+        assert monitor.watched_credentials == [c.credential_id for c in creds]

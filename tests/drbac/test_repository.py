@@ -1,0 +1,130 @@
+"""Distributed repository tests: discovery tags and routed collection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import KeyStore
+from repro.drbac.delegation import issue
+from repro.drbac.model import EntityRef, Role
+from repro.drbac.repository import (
+    BOTH_TAGS,
+    DiscoveryTag,
+    DistributedRepository,
+    subject_home,
+)
+
+
+@pytest.fixture(scope="module")
+def store():
+    return KeyStore(key_bits=512)
+
+
+class TestSubjectHome:
+    def test_entity_home_is_itself(self):
+        assert subject_home(EntityRef("Bob")) == "Bob"
+
+    def test_role_home_is_owner(self):
+        assert subject_home(Role("Comp.SD", "Member")) == "Comp.SD"
+
+
+class TestPublishAndFind:
+    def test_find_by_subject_routed(self, store):
+        repo = DistributedRepository()
+        c = issue(store.identity("A"), EntityRef("u"), Role("A", "R"))
+        repo.publish(c)
+        assert [d.credential_id for d in repo.find_by_subject(EntityRef("u"))] == [
+            c.credential_id
+        ]
+
+    def test_find_by_role_routed(self, store):
+        repo = DistributedRepository()
+        c = issue(store.identity("A"), EntityRef("u"), Role("A", "R"))
+        repo.publish(c)
+        assert [d.credential_id for d in repo.find_by_role(Role("A", "R"))] == [
+            c.credential_id
+        ]
+
+    def test_subject_only_tag_hides_from_role_queries(self, store):
+        repo = DistributedRepository()
+        c = issue(store.identity("A"), EntityRef("u"), Role("A", "R"))
+        repo.publish(c, tags={DiscoveryTag.SEARCHABLE_FROM_SUBJECT})
+        assert repo.find_by_subject(EntityRef("u"))
+        assert not repo.find_by_role(Role("A", "R"))
+
+    def test_object_only_tag_hides_from_subject_queries(self, store):
+        repo = DistributedRepository()
+        c = issue(store.identity("A"), EntityRef("u"), Role("A", "R"))
+        repo.publish(c, tags={DiscoveryTag.SEARCHABLE_FROM_OBJECT})
+        assert not repo.find_by_subject(EntityRef("u"))
+        assert repo.find_by_role(Role("A", "R"))
+
+    def test_query_count_increments(self, store):
+        repo = DistributedRepository()
+        before = repo.query_count
+        repo.find_by_subject(EntityRef("nobody"))
+        assert repo.query_count == before + 1
+
+    def test_shards_per_home(self, store):
+        repo = DistributedRepository()
+        repo.publish(issue(store.identity("A"), EntityRef("u"), Role("A", "R")))
+        repo.publish(issue(store.identity("B"), EntityRef("v"), Role("B", "R")))
+        # Subject homes u,v plus role-owner homes A,B.
+        assert repo.shard_count == 4
+
+    def test_credential_count_dedupes_indexes(self, store):
+        repo = DistributedRepository()
+        repo.publish(issue(store.identity("A"), EntityRef("u"), Role("A", "R")), BOTH_TAGS)
+        assert repo.credential_count == 1
+
+
+class TestCollect:
+    def test_collects_forward_chain(self, store):
+        repo = DistributedRepository()
+        c1 = issue(store.identity("SD"), EntityRef("Bob"), Role("SD", "Member"))
+        c2 = issue(store.identity("NY"), Role("SD", "Member"), Role("NY", "Member"))
+        repo.publish_all([c1, c2])
+        harvested = {d.credential_id for d in repo.collect(EntityRef("Bob"), Role("NY", "Member"))}
+        assert {c1.credential_id, c2.credential_id} <= harvested
+
+    def test_collects_assignment_evidence_for_third_party(self, store):
+        repo = DistributedRepository()
+        grant = issue(
+            store.identity("NY"), EntityRef("SD"), Role("NY", "Partner"), assignment=True
+        )
+        c1 = issue(store.identity("SE"), EntityRef("Ch"), Role("SE", "Member"))
+        c2 = issue(store.identity("SD"), Role("SE", "Member"), Role("NY", "Partner"))
+        repo.publish_all([grant, c1, c2])
+        harvested = {
+            d.credential_id for d in repo.collect(EntityRef("Ch"), Role("NY", "Partner"))
+        }
+        assert grant.credential_id in harvested
+
+    def test_ignores_unrelated_credentials(self, store):
+        repo = DistributedRepository()
+        wanted = issue(store.identity("A"), EntityRef("u"), Role("A", "R"))
+        noise = issue(store.identity("Z"), EntityRef("w"), Role("Z", "Q"))
+        repo.publish_all([wanted, noise])
+        harvested = {d.credential_id for d in repo.collect(EntityRef("u"), Role("A", "R"))}
+        assert noise.credential_id not in harvested
+
+    def test_depth_bound(self, store):
+        repo = DistributedRepository()
+        creds = [issue(store.identity("D0"), EntityRef("u"), Role("D0", "R"))]
+        for i in range(1, 6):
+            creds.append(
+                issue(store.identity(f"D{i}"), Role(f"D{i-1}", "R"), Role(f"D{i}", "R"))
+            )
+        repo.publish_all(creds)
+        shallow = repo.collect(EntityRef("u"), Role("D5", "R"), max_depth=1)
+        deep = repo.collect(EntityRef("u"), Role("D5", "R"), max_depth=10)
+        assert len(shallow) < len(deep)
+
+    def test_dotted_entity_subject_not_misparsed(self, store):
+        # Entity names may contain dots (Comp.SD); collection must not
+        # reinterpret them as roles.
+        repo = DistributedRepository()
+        c = issue(store.identity("NY"), EntityRef("Comp.SD"), Role("NY", "Partner"))
+        repo.publish(c)
+        harvested = repo.collect(EntityRef("Comp.SD"), Role("NY", "Partner"))
+        assert [d.credential_id for d in harvested] == [c.credential_id]

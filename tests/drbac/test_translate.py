@@ -1,0 +1,130 @@
+"""Policy-translation service tests (§6 future work, implemented)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drbac.model import Role
+from repro.drbac.translate import (
+    AclGroupPolicy,
+    CapabilityPolicy,
+    PolicyTranslator,
+    TranslationRule,
+)
+
+
+@pytest.fixture()
+def capability_world(engine):
+    policy = CapabilityPolicy()
+    translator = PolicyTranslator(
+        engine,
+        "Lab",
+        policy,
+        [
+            TranslationRule("can-read", Role("Lab", "Reader")),
+            TranslationRule("can-admin", Role("Lab", "Admin")),
+        ],
+    )
+    return engine, policy, translator
+
+
+class TestCapabilityTranslation:
+    def test_grant_becomes_provable_role(self, capability_world):
+        engine, policy, translator = capability_world
+        policy.grant("dana", "can-read")
+        report = translator.sync()
+        assert len(report.issued) == 1
+        assert engine.find_proof("dana", "Lab.Reader") is not None
+
+    def test_unmapped_capability_ignored(self, capability_world):
+        engine, policy, translator = capability_world
+        policy.grant("dana", "can-fly")
+        report = translator.sync()
+        assert not report.issued
+        assert translator.mirrored_count() == 0
+
+    def test_sync_is_idempotent(self, capability_world):
+        engine, policy, translator = capability_world
+        policy.grant("dana", "can-read")
+        translator.sync()
+        report = translator.sync()
+        assert not report.issued and not report.revoked
+
+    def test_native_revocation_propagates(self, capability_world):
+        engine, policy, translator = capability_world
+        policy.grant("dana", "can-admin")
+        translator.sync()
+        assert engine.find_proof("dana", "Lab.Admin") is not None
+        policy.revoke("dana", "can-admin")
+        report = translator.sync()
+        assert len(report.revoked) == 1
+        assert engine.find_proof("dana", "Lab.Admin") is None
+
+    def test_revocation_fires_live_monitors(self, capability_world):
+        """Native-policy changes reach open channels via the monitors."""
+        engine, policy, translator = capability_world
+        policy.grant("dana", "can-read")
+        translator.sync()
+        result = engine.authorize("dana", "Lab.Reader")
+        assert result.valid
+        policy.revoke("dana", "can-read")
+        translator.sync()
+        assert not result.valid
+
+    def test_translated_roles_chain_cross_domain(self, capability_world):
+        """Mirrored credentials participate in normal dRBAC chains."""
+        engine, policy, translator = capability_world
+        policy.grant("dana", "can-read")
+        translator.sync()
+        engine.delegate("Comp.NY", "Lab.Reader", "Comp.NY.Guest")
+        assert engine.find_proof("dana", "Comp.NY.Guest") is not None
+
+
+class TestAclGroupTranslation:
+    @pytest.fixture()
+    def group_world(self, engine):
+        policy = AclGroupPolicy()
+        policy.add_member("staff", "erin")
+        policy.add_member("staff", "frank")
+        policy.allow("staff", "mail-access")
+        translator = PolicyTranslator(
+            engine,
+            "Office",
+            policy,
+            [TranslationRule("mail-access", Role("Office", "MailUser"))],
+        )
+        return engine, policy, translator
+
+    def test_flattened_grants_mirrored(self, group_world):
+        engine, policy, translator = group_world
+        report = translator.sync()
+        assert len(report.issued) == 2
+        assert engine.find_proof("erin", "Office.MailUser") is not None
+        assert engine.find_proof("frank", "Office.MailUser") is not None
+
+    def test_group_removal_revokes_member(self, group_world):
+        engine, policy, translator = group_world
+        translator.sync()
+        policy.remove_member("staff", "frank")
+        report = translator.sync()
+        assert len(report.revoked) == 1
+        assert engine.find_proof("frank", "Office.MailUser") is None
+        assert engine.find_proof("erin", "Office.MailUser") is not None
+
+    def test_permission_removal_revokes_everyone(self, group_world):
+        engine, policy, translator = group_world
+        translator.sync()
+        policy.disallow("staff", "mail-access")
+        report = translator.sync()
+        assert len(report.revoked) == 2
+        assert translator.mirrored_count() == 0
+
+    def test_regrant_issues_fresh_credential(self, group_world):
+        engine, policy, translator = group_world
+        translator.sync()
+        policy.remove_member("staff", "erin")
+        translator.sync()
+        policy.add_member("staff", "erin")
+        report = translator.sync()
+        assert len(report.issued) == 1
+        assert engine.find_proof("erin", "Office.MailUser") is not None

@@ -1,0 +1,193 @@
+"""Independent proof-verifier tests, including adversarial mutations and
+the property that every engine-found proof verifies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import KeyStore
+from repro.drbac.delegation import issue
+from repro.drbac.model import AttrScalar, EntityRef, Role
+from repro.drbac.monitor import RevocationDirectory
+from repro.drbac.proof import Proof, ProofEngine
+from repro.drbac.verify import ProofVerifier
+from repro.errors import AuthorizationError
+
+
+@pytest.fixture(scope="module")
+def store():
+    return KeyStore(key_bits=512)
+
+
+def _identities(store, names):
+    return {name: store.public(name) for name in names}
+
+
+def _chain_world(store):
+    c1 = issue(store.identity("SD"), EntityRef("Bob"), Role("SD", "Member"),
+               attributes={"CPU": AttrScalar(100)})
+    c2 = issue(store.identity("NY"), Role("SD", "Member"), Role("NY", "Member"),
+               attributes={"CPU": AttrScalar(80)})
+    grant = issue(store.identity("NY"), EntityRef("SD"), Role("NY", "Partner"),
+                  assignment=True)
+    c3 = issue(store.identity("SD"), Role("NY", "Member"), Role("NY", "Partner"))
+    return [c1, c2, grant, c3], ["SD", "NY"]
+
+
+@pytest.fixture(scope="module")
+def world(store):
+    creds, names = _chain_world(store)
+    engine = ProofEngine(_identities(store, names))
+    verifier = ProofVerifier(_identities(store, names))
+    return creds, engine, verifier
+
+
+class TestValidProofs:
+    def test_single_hop_verifies(self, world):
+        creds, engine, verifier = world
+        proof = engine.find_proof(EntityRef("Bob"), Role("SD", "Member"), creds)
+        assert verifier.verify(proof).ok
+
+    def test_chain_verifies(self, world):
+        creds, engine, verifier = world
+        proof = engine.find_proof(EntityRef("Bob"), Role("NY", "Member"), creds)
+        assert verifier.verify(proof).ok
+
+    def test_third_party_with_support_verifies(self, world):
+        creds, engine, verifier = world
+        proof = engine.find_proof(EntityRef("Bob"), Role("NY", "Partner"), creds)
+        assert proof is not None
+        result = verifier.verify(proof)
+        assert result.ok, result.errors
+
+    def test_progression_proofs_verify_too(self, world):
+        creds, engine, verifier = world
+        proof = engine.find_proof(
+            EntityRef("Bob"), Role("NY", "Member"), creds, direction="progression"
+        )
+        assert verifier.verify(proof).ok
+
+    def test_require_valid_passes(self, world):
+        creds, engine, verifier = world
+        proof = engine.find_proof(EntityRef("Bob"), Role("SD", "Member"), creds)
+        verifier.require_valid(proof)
+
+
+class TestAdversarialMutations:
+    def _proof(self, world):
+        creds, engine, verifier = world
+        return engine.find_proof(EntityRef("Bob"), Role("NY", "Partner"), creds)
+
+    def test_wrong_subject_rejected(self, world):
+        creds, engine, verifier = world
+        proof = self._proof(world)
+        forged = Proof(
+            subject=EntityRef("Mallory"), role=proof.role,
+            chain=proof.chain, support=proof.support, attributes=proof.attributes,
+        )
+        result = verifier.verify(forged)
+        assert not result.ok
+        assert any("claimed subject" in e for e in result.errors)
+
+    def test_wrong_goal_rejected(self, world):
+        proof = self._proof(world)
+        forged = Proof(
+            subject=proof.subject, role=Role("NY", "Admin"),
+            chain=proof.chain, support=proof.support, attributes=proof.attributes,
+        )
+        _, _, verifier = world
+        assert not verifier.verify(forged).ok
+
+    def test_broken_chain_rejected(self, world):
+        proof = self._proof(world)
+        forged = Proof(
+            subject=proof.subject, role=proof.role,
+            chain=[proof.chain[0], proof.chain[-1]] if len(proof.chain) > 2 else list(reversed(proof.chain)),
+            support=proof.support, attributes=proof.attributes,
+        )
+        _, _, verifier = world
+        assert not verifier.verify(forged).ok
+
+    def test_stripped_support_rejected(self, world):
+        proof = self._proof(world)
+        forged = Proof(
+            subject=proof.subject, role=proof.role,
+            chain=proof.chain, support=[], attributes=proof.attributes,
+        )
+        _, _, verifier = world
+        result = verifier.verify(forged)
+        assert not result.ok
+        assert any("assignment-right" in e for e in result.errors)
+
+    def test_inflated_attributes_rejected(self, world, store):
+        creds, engine, verifier = world
+        proof = engine.find_proof(EntityRef("Bob"), Role("NY", "Member"), creds)
+        forged = Proof(
+            subject=proof.subject, role=proof.role, chain=proof.chain,
+            support=proof.support, attributes={"CPU": AttrScalar(100)},  # real: 80
+        )
+        result = verifier.verify(forged)
+        assert not result.ok
+        assert any("attribute" in e for e in result.errors)
+
+    def test_empty_chain_rejected(self, world):
+        _, _, verifier = world
+        forged = Proof(subject=EntityRef("x"), role=Role("A", "R"), chain=[])
+        assert not verifier.verify(forged).ok
+
+    def test_expired_credential_rejected(self, world, store):
+        cred = issue(store.identity("A"), EntityRef("u"), Role("A", "R"), expires_at=1.0)
+        proof = Proof(subject=EntityRef("u"), role=Role("A", "R"), chain=[cred])
+        verifier = ProofVerifier({"A": store.public("A")}, now=5.0)
+        result = verifier.verify(proof)
+        assert any("expired" in e for e in result.errors)
+
+    def test_revoked_credential_rejected(self, world, store):
+        cred = issue(store.identity("A"), EntityRef("u"), Role("A", "R"))
+        revocations = RevocationDirectory()
+        revocations.revoke(cred)
+        proof = Proof(subject=EntityRef("u"), role=Role("A", "R"), chain=[cred])
+        verifier = ProofVerifier({"A": store.public("A")}, revocations)
+        result = verifier.verify(proof)
+        assert any("revoked" in e for e in result.errors)
+
+    def test_unknown_issuer_rejected(self, world, store):
+        cred = issue(store.identity("Ghost"), EntityRef("u"), Role("Ghost", "R"))
+        proof = Proof(subject=EntityRef("u"), role=Role("Ghost", "R"), chain=[cred])
+        verifier = ProofVerifier({})
+        result = verifier.verify(proof)
+        assert any("unknown issuer" in e for e in result.errors)
+
+    def test_require_valid_raises(self, world):
+        _, _, verifier = world
+        forged = Proof(subject=EntityRef("x"), role=Role("A", "R"), chain=[])
+        with pytest.raises(AuthorizationError):
+            verifier.require_valid(forged)
+
+
+class TestEngineVerifierAgreement:
+    """Property: every proof any search direction returns must verify."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_found_proofs_always_verify(self, store, data):
+        n_roles = data.draw(st.integers(3, 7))
+        n_creds = data.draw(st.integers(2, 12))
+        roles = [Role(f"Dom{i}", "R") for i in range(n_roles)]
+        creds = []
+        for _ in range(n_creds):
+            src = data.draw(st.integers(-1, n_roles - 1))
+            dst = data.draw(st.integers(0, n_roles - 1))
+            subject = EntityRef("u") if src == -1 else roles[src]
+            creds.append(issue(store.identity(roles[dst].owner), subject, roles[dst]))
+        identities = _identities(store, [r.owner for r in roles])
+        engine = ProofEngine(identities)
+        verifier = ProofVerifier(identities)
+        goal = roles[data.draw(st.integers(0, n_roles - 1))]
+        for direction in ("regression", "progression"):
+            proof = engine.find_proof(EntityRef("u"), goal, creds, direction=direction)
+            if proof is not None:
+                result = verifier.verify(proof)
+                assert result.ok, result.errors

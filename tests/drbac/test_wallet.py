@@ -1,0 +1,41 @@
+"""Wallet tests."""
+
+from __future__ import annotations
+
+from repro.drbac import Wallet
+
+
+class TestWallet:
+    def test_grant_and_iterate(self, engine):
+        d = engine.delegate("A", "u", "A.R", publish=False)
+        wallet = Wallet(owner="u")
+        wallet.grant(d)
+        assert list(wallet) == [d]
+        assert len(wallet) == 1
+
+    def test_grant_idempotent(self, engine):
+        d = engine.delegate("A", "u", "A.R", publish=False)
+        wallet = Wallet(owner="u")
+        wallet.grant(d)
+        wallet.grant(d)
+        assert len(wallet) == 1
+
+    def test_remove(self, engine):
+        d = engine.delegate("A", "u", "A.R", publish=False)
+        wallet = Wallet(owner="u")
+        wallet.grant(d)
+        assert wallet.remove(d.credential_id)
+        assert not wallet.remove(d.credential_id)
+        assert len(wallet) == 0
+
+    def test_contains(self, engine):
+        d = engine.delegate("A", "u", "A.R", publish=False)
+        wallet = Wallet(owner="u")
+        wallet.grant(d)
+        assert d.credential_id in wallet
+
+    def test_credentials_preserve_order(self, engine):
+        wallet = Wallet(owner="u")
+        creds = [engine.delegate("A", "u", f"A.R{i}", publish=False) for i in range(3)]
+        wallet.grant_all(creds)
+        assert wallet.credentials() == creds

@@ -1,0 +1,75 @@
+"""Wire-codec tests for identities and attributes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.drbac.model import AttrRange, AttrScalar, AttrSet
+from repro.drbac.wire import (
+    attribute_from_wire,
+    attribute_to_wire,
+    public_identity_from_wire,
+    public_identity_to_wire,
+    subject_from_wire,
+    subject_to_wire,
+)
+from repro.drbac.model import EntityRef, Role
+from repro.errors import CredentialError
+
+
+class TestAttributeCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            AttrScalar(42),
+            AttrRange(0, 10),
+            AttrSet([True, False]),
+            AttrSet(["Linux", "SuSe"]),
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert attribute_from_wire(attribute_to_wire(value)) == value
+
+    def test_unknown_kind(self):
+        with pytest.raises(CredentialError):
+            attribute_from_wire({"kind": "matrix"})
+
+    @given(low=st.integers(-100, 100), span=st.integers(0, 100))
+    def test_range_roundtrip_property(self, low, span):
+        value = AttrRange(low, low + span)
+        assert attribute_from_wire(attribute_to_wire(value)) == value
+
+
+class TestSubjectCodec:
+    def test_entity_roundtrip(self):
+        assert subject_from_wire(subject_to_wire(EntityRef("Comp.SD"))) == EntityRef(
+            "Comp.SD"
+        )
+
+    def test_role_roundtrip(self):
+        role = Role("Comp.NY", "Member")
+        assert subject_from_wire(subject_to_wire(role)) == role
+
+    def test_unknown_kind(self):
+        with pytest.raises(CredentialError):
+            subject_from_wire({"kind": "ghost", "name": "x"})
+
+
+class TestIdentityCodec:
+    def test_roundtrip_preserves_verification(self, key_store):
+        identity = key_store.identity("WireTest")
+        signature = identity.sign(b"statement")
+        restored = public_identity_from_wire(
+            public_identity_to_wire(identity.public)
+        )
+        assert restored.name == "WireTest"
+        assert restored.verify(b"statement", signature)
+        assert not restored.verify(b"tampered", signature)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(CredentialError):
+            public_identity_from_wire({"name": "x", "n": "zz-not-hex", "e": 3})
+        with pytest.raises(CredentialError):
+            public_identity_from_wire({"name": "x"})

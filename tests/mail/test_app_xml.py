@@ -1,0 +1,101 @@
+"""Declarative-document equivalence: the XML app spec registers the same
+application as the programmatic scenario builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mail import build_network, build_scenario, issue_table2_credentials
+from repro.mail.app_xml import MAIL_APP_XML, register_components_declaratively
+from repro.mail.scenario import MailScenario, NY_NODES
+from repro.mail.server import MailServer
+from repro.psf import PSF, EdgeRequirement, ServiceRequest
+from repro.psf.guard import Guard
+
+
+@pytest.fixture()
+def declarative_scenario(key_store):
+    """The three-site world with components loaded from MAIL_APP_XML."""
+    psf = PSF(key_store=key_store)
+    build_network(psf)
+    ny = psf.add_guard("NY", "Comp.NY")
+    sd = psf.add_guard("SD", "Comp.SD")
+    se = psf.add_guard("SE", "Inc.SE")
+    mail = Guard(psf.engine, "Mail")
+    psf.set_app_guard(mail)
+    scenario = MailScenario(
+        psf=psf, ny_guard=ny, sd_guard=sd, se_guard=se, mail_guard=mail
+    )
+    issue_table2_credentials(scenario)
+    register_components_declaratively(psf)
+    server = MailServer()
+    server.create_account("Alice")
+    psf.host_existing("MailServer", "ny-server", server, "MailServer")
+    scenario.server = server
+    return scenario
+
+
+class TestEquivalence:
+    def test_same_component_inventory(self, declarative_scenario, shared_scenario):
+        declared = {c.name for c in declarative_scenario.psf.registrar.components()}
+        programmatic = {c.name for c in shared_scenario.psf.registrar.components()}
+        assert declared == programmatic
+
+    def test_same_component_shapes(self, declarative_scenario, shared_scenario):
+        for component in shared_scenario.psf.registrar.components():
+            declared = declarative_scenario.psf.registrar.component(component.name)
+            assert declared.cpu_demand == component.cpu_demand
+            assert declared.deployable == component.deployable
+            assert str(declared.component_role) == str(component.component_role)
+            assert [p.interface for p in declared.implements] == [
+                p.interface for p in component.implements
+            ]
+            assert [p.interface for p in declared.requires] == [
+                p.interface for p in component.requires
+            ]
+
+    def test_same_policy(self, declarative_scenario, shared_scenario):
+        declared = declarative_scenario.psf.registrar.policy("MailClient")
+        programmatic = shared_scenario.psf.registrar.policy("MailClient")
+        assert [r.view_name for r in declared.rules()] == [
+            r.view_name for r in programmatic.rules()
+        ]
+
+    def test_same_view_specs(self, declarative_scenario, shared_scenario):
+        for name in (
+            "ViewMailServer",
+            "ViewMailClient_Member",
+            "ViewMailClient_Partner",
+            "ViewMailClient_Anonymous",
+        ):
+            declared = declarative_scenario.psf.registrar.view_spec(name)
+            programmatic = shared_scenario.psf.registrar.view_spec(name)
+            assert declared.interfaces == programmatic.interfaces
+            assert declared.replicated_fields == programmatic.replicated_fields
+
+
+class TestDeclarativeOperation:
+    def test_planner_adapts_identically(self, declarative_scenario):
+        plan = declarative_scenario.psf.planner().plan(
+            ServiceRequest(
+                client="Bob", client_node="sd-pc1", interface="MailI",
+                qos=EdgeRequirement(privacy=True, channel="rmi"),
+            )
+        )
+        assert plan.deployed_names() == ["ViewMailServer"]
+
+    def test_end_to_end_deployment_works(self, declarative_scenario):
+        session = declarative_scenario.psf.request_service(
+            ServiceRequest(
+                client="Bob", client_node="sd-pc1", interface="MailI",
+                qos=EdgeRequirement(privacy=True, channel="rmi"),
+            )
+        )
+        session.access.sendMail(
+            {"sender": "Bob", "recipient": "Alice", "subject": "d", "body": "b"}
+        )
+        assert declarative_scenario.server.fetchMail("Alice")
+
+    def test_document_mentions_table_3b_view(self):
+        assert 'name="ViewMailClient_Partner"' in MAIL_APP_XML
+        assert 'type="switchboard"' in MAIL_APP_XML

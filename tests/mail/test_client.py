@@ -1,0 +1,75 @@
+"""MailClient component tests (Table 3a behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mail.client import (
+    AddressI,
+    MAIL_CLIENT_INTERFACES,
+    MailClient,
+    MessageI,
+    NotesI,
+)
+
+
+@pytest.fixture()
+def client():
+    return MailClient(
+        owner="alice",
+        accounts={
+            "bob": {"name": "bob", "phone": "619", "email": "bob@x"},
+        },
+    )
+
+
+class TestMessageI:
+    def test_send_queues_outbox(self, client):
+        assert client.sendMessage({"recipient": "bob", "body": "hi"})
+        assert len(client.outbox) == 1
+
+    def test_receive_drains_inbox(self, client):
+        client.inbox.append({"body": "m"})
+        assert client.receiveMessages() == [{"body": "m"}]
+        assert client.receiveMessages() == []
+
+
+class TestAddressI:
+    def test_get_phone_via_helper(self, client):
+        assert client.getPhone("bob") == "619"
+
+    def test_get_email(self, client):
+        assert client.getEmail("bob") == "bob@x"
+
+    def test_unknown_account(self, client):
+        with pytest.raises(KeyError):
+            client.getPhone("ghost")
+
+
+class TestNotesI:
+    def test_add_note(self, client):
+        client.addNote("remember")
+        assert client.notes == ["remember"]
+
+    def test_add_meeting(self, client):
+        assert client.addMeeting("standup") is True
+        assert client.meetings == ["standup"]
+
+
+class TestInterfaceDeclarations:
+    def test_three_interfaces(self):
+        assert [i.name for i in MAIL_CLIENT_INTERFACES] == [
+            "MessageI",
+            "AddressI",
+            "NotesI",
+        ]
+
+    def test_methods_match_table_3a(self):
+        assert MessageI.method_names() == ("sendMessage", "receiveMessages")
+        assert AddressI.method_names() == ("getPhone", "getEmail")
+        assert NotesI.method_names() == ("addNote", "addMeeting")
+
+    def test_interfaces_cover_client_methods(self):
+        for iface in MAIL_CLIENT_INTERFACES:
+            for sig in iface.methods:
+                assert callable(getattr(MailClient, sig.name))

@@ -1,0 +1,54 @@
+"""Encryptor/Decryptor pair tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CipherError
+from repro.mail.crypto_components import Decryptor, Encryptor, derive_pair_key
+from repro.mail.server import MailServer
+
+
+@pytest.fixture()
+def chain():
+    server = MailServer()
+    server.create_account("alice")
+    encryptor = Encryptor(server)
+    decryptor = Decryptor(encryptor)
+    return server, encryptor, decryptor
+
+
+class TestPair:
+    def test_send_through_chain(self, chain):
+        server, _, decryptor = chain
+        assert decryptor.sendMail({"recipient": "alice", "body": "secret"})
+        assert server.fetchMail("alice")[0]["body"] == "secret"
+
+    def test_fetch_through_chain(self, chain):
+        server, _, decryptor = chain
+        server.sendMail({"recipient": "alice", "body": "down"})
+        assert decryptor.fetchMail("alice")[0]["body"] == "down"
+
+    def test_list_accounts(self, chain):
+        _, _, decryptor = chain
+        assert decryptor.listAccounts() == ["alice"]
+
+    def test_wire_format_is_ciphertext(self, chain):
+        server, encryptor, _ = chain
+        server.sendMail({"recipient": "alice", "body": "SECRET-BODY"})
+        blob = encryptor.fetchMailEnc("alice")
+        assert "SECRET-BODY" not in blob
+        assert bytes.fromhex(blob)  # hex-encoded frame
+
+    def test_mismatched_pair_keys_fail(self):
+        server = MailServer()
+        server.create_account("alice")
+        encryptor = Encryptor(server, pair_secret="s1")
+        decryptor = Decryptor(encryptor, pair_secret="s2")
+        server.sendMail({"recipient": "alice", "body": "x"})
+        with pytest.raises(CipherError):
+            decryptor.fetchMail("alice")
+
+    def test_key_derivation_deterministic(self):
+        assert derive_pair_key("a") == derive_pair_key("a")
+        assert derive_pair_key("a") != derive_pair_key("b")

@@ -1,0 +1,35 @@
+"""Mail data-model tests."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mail.messages import Account, Message, make_directory
+
+text = st.text(max_size=60)
+
+
+class TestMessage:
+    @given(sender=text, recipient=text, subject=text, body=text)
+    def test_dict_roundtrip(self, sender, recipient, subject, body):
+        message = Message(sender=sender, recipient=recipient, subject=subject, body=body)
+        assert Message.from_dict(message.to_dict()) == message
+
+    def test_wire_form_is_plain_dict(self):
+        data = Message("a", "b", "s", "x").to_dict()
+        assert data == {"sender": "a", "recipient": "b", "subject": "s", "body": "x"}
+
+
+class TestAccount:
+    @given(name=text, phone=text, email=text)
+    def test_dict_roundtrip(self, name, phone, email):
+        account = Account(name=name, phone=phone, email=email)
+        assert Account.from_dict(account.to_dict()) == account
+
+    def test_directory_keys_by_name(self):
+        directory = make_directory(
+            [Account("alice", phone="1"), Account("bob", email="b@x")]
+        )
+        assert set(directory) == {"alice", "bob"}
+        assert directory["alice"]["phone"] == "1"

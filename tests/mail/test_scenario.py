@@ -1,0 +1,166 @@
+"""Table 2 behavioural battery: every authorization outcome §3.3 describes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drbac.model import AttrScalar, Role
+
+
+class TestCredentialSet:
+    def test_seventeen_numbered_credentials(self, shared_scenario):
+        assert sorted(shared_scenario.credentials) == list(range(1, 18))
+
+    def test_paper_rendering_of_credential_2(self, shared_scenario):
+        assert (
+            str(shared_scenario.credentials[2])
+            == "[ Comp.SD.Member -> Comp.NY.Member ] Comp.NY"
+        )
+
+    def test_paper_rendering_of_credential_3(self, shared_scenario):
+        assert (
+            str(shared_scenario.credentials[3])
+            == "[ Comp.SD -> Comp.NY.Partner' ] Comp.NY"
+        )
+
+    def test_paper_rendering_of_credential_5(self, shared_scenario):
+        assert str(shared_scenario.credentials[5]) == (
+            "[ Dell.SuSe -> Mail.Node with Secure={false,true} Trust=(0,7) ] Mail"
+        )
+
+    def test_delegation_types(self, shared_scenario):
+        from repro.drbac import DelegationType
+
+        creds = shared_scenario.credentials
+        assert creds[1].delegation_type is DelegationType.SELF_CERTIFYING
+        assert creds[3].delegation_type is DelegationType.ASSIGNMENT
+        assert creds[12].delegation_type is DelegationType.THIRD_PARTY
+
+
+class TestClientAuthorization:
+    """§3.3 'Client authorization'."""
+
+    def test_alice_is_ny_member(self, shared_scenario):
+        assert shared_scenario.engine.find_proof("Alice", "Comp.NY.Member")
+
+    def test_bob_is_ny_member_via_2_and_11(self, shared_scenario):
+        proof = shared_scenario.engine.find_proof("Bob", "Comp.NY.Member")
+        assert proof is not None
+        used = [d.credential_id for d in proof.chain]
+        assert used == [
+            shared_scenario.credentials[11].credential_id,
+            shared_scenario.credentials[2].credential_id,
+        ]
+
+    def test_charlie_is_ny_partner_via_3_12_15(self, shared_scenario):
+        proof = shared_scenario.engine.find_proof("Charlie", "Comp.NY.Partner")
+        assert proof is not None
+        chain_ids = [d.credential_id for d in proof.chain]
+        assert chain_ids == [
+            shared_scenario.credentials[15].credential_id,
+            shared_scenario.credentials[12].credential_id,
+        ]
+        support_ids = [d.credential_id for d in proof.support]
+        assert support_ids == [shared_scenario.credentials[3].credential_id]
+
+    def test_charlie_is_not_ny_member(self, shared_scenario):
+        assert shared_scenario.engine.find_proof("Charlie", "Comp.NY.Member") is None
+
+    def test_stranger_has_nothing(self, shared_scenario):
+        engine = shared_scenario.engine
+        assert engine.find_proof("Stranger", "Comp.NY.Member") is None
+        assert engine.find_proof("Stranger", "Comp.NY.Partner") is None
+
+
+class TestNodeAuthorization:
+    """§3.3 'Node authorization': hardware facts map onto Mail.Node."""
+
+    def test_sd_machines_map_via_13_and_5(self, shared_scenario):
+        proof = shared_scenario.engine.is_a(
+            "sd-pc1", "Mail.Node with Secure={true} Trust=(0,5)"
+        )
+        assert proof is not None
+        ids = {d.credential_id for d in proof.chain}
+        assert shared_scenario.credentials[13].credential_id in ids
+        assert shared_scenario.credentials[5].credential_id in ids
+
+    def test_ny_machines_map_via_7_and_4(self, shared_scenario):
+        proof = shared_scenario.engine.is_a(
+            "ny-pc1", "Mail.Node with Secure={true} Trust=(0,10)"
+        )
+        assert proof is not None
+
+    def test_se_machines_are_insecure_low_trust(self, shared_scenario):
+        engine = shared_scenario.engine
+        assert engine.is_a("se-pc1", "Mail.Node") is not None
+        assert engine.is_a("se-pc1", "Mail.Node with Secure={true}") is None
+        assert engine.is_a("se-pc1", "Mail.Node with Trust=(0,5)") is None
+
+    def test_gateways_are_not_mail_nodes(self, shared_scenario):
+        assert shared_scenario.engine.is_a("ny-gw", "Mail.Node") is None
+
+
+class TestComponentAuthorization:
+    """§3.3 'Component authorization': executables and CPU budgets."""
+
+    @pytest.mark.parametrize(
+        "role,domain_guard,budget",
+        [
+            ("Mail.MailClient", "ny_guard", 100),
+            ("Mail.Encryptor", "sd_guard", 80),
+            ("Mail.Decryptor", "se_guard", 40),
+            ("Mail.Encryptor", "ny_guard", 100),
+        ],
+    )
+    def test_cpu_budgets(self, shared_scenario, role, domain_guard, budget):
+        guard = getattr(shared_scenario, domain_guard)
+        assert guard.component_cpu_budget(Role.parse(role)) == budget
+
+    def test_cpu_attenuation_uses_min(self, shared_scenario):
+        # [Mail.Encryptor -> Comp.NY.Executable CPU=100] then
+        # [Comp.NY.Executable -> Comp.SD.Executable CPU=80]: min is 80.
+        proof = shared_scenario.engine.find_proof(
+            Role("Mail", "Encryptor"), Role("Comp.SD", "Executable")
+        )
+        assert proof.attributes["CPU"] == AttrScalar(80)
+
+    def test_unknown_component_unauthorized(self, shared_scenario):
+        assert (
+            shared_scenario.sd_guard.component_cpu_budget(Role("Mail", "Ghost"))
+            is None
+        )
+
+    def test_deployed_instance_presents_chain(self, scenario_factory):
+        # "Whenever a component is deployed on a node, it presents a chain
+        # of credentials."  Simulate the deployment infrastructure issuing
+        # an instance credential and the SD node validating the chain.
+        scenario = scenario_factory()
+        engine = scenario.engine
+        engine.delegate("Mail", "enc-instance-1", "Mail.Encryptor")
+        proof = engine.find_proof("enc-instance-1", "Comp.SD.Executable")
+        assert proof is not None
+        assert len(proof.chain) == 3  # instance -> Mail.Encryptor -> NY -> SD
+
+
+class TestRevocationInScenario:
+    def test_revoking_12_cuts_charlie_off(self, scenario_factory):
+        scenario = scenario_factory()
+        engine = scenario.engine
+        assert engine.find_proof("Charlie", "Comp.NY.Partner") is not None
+        engine.revoke(scenario.credentials[12])
+        assert engine.find_proof("Charlie", "Comp.NY.Partner") is None
+
+    def test_revoking_3_cuts_all_partners_off(self, scenario_factory):
+        # Killing the assignment right invalidates every third-party
+        # delegation Comp.SD issued for Comp.NY.Partner.
+        scenario = scenario_factory()
+        engine = scenario.engine
+        engine.revoke(scenario.credentials[3])
+        assert engine.find_proof("Charlie", "Comp.NY.Partner") is None
+
+    def test_revoking_2_cuts_bob_but_not_alice(self, scenario_factory):
+        scenario = scenario_factory()
+        engine = scenario.engine
+        engine.revoke(scenario.credentials[2])
+        assert engine.find_proof("Bob", "Comp.NY.Member") is None
+        assert engine.find_proof("Alice", "Comp.NY.Member") is not None

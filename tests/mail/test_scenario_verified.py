@@ -1,0 +1,63 @@
+"""Cross-check: every scenario proof passes the independent verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drbac.model import EntityRef, Role
+from repro.drbac.verify import ProofVerifier
+
+
+@pytest.fixture()
+def verifier(shared_scenario):
+    engine = shared_scenario.engine
+    identities = {
+        name: engine.public_identity(name)
+        for name in engine.key_store.known_names()
+    }
+    return ProofVerifier(identities, engine.revocations)
+
+
+SCENARIO_GOALS = [
+    ("Alice", "Comp.NY.Member"),
+    ("Bob", "Comp.SD.Member"),
+    ("Bob", "Comp.NY.Member"),
+    ("Charlie", "Inc.SE.Member"),
+    ("Charlie", "Comp.NY.Partner"),
+    ("sd-pc1", "Mail.Node"),
+    ("ny-pc1", "Mail.Node"),
+    ("se-pc1", "Mail.Node"),
+]
+
+
+class TestScenarioProofsVerify:
+    @pytest.mark.parametrize("subject,role", SCENARIO_GOALS)
+    def test_membership_proofs(self, shared_scenario, verifier, subject, role):
+        proof = shared_scenario.engine.find_proof(subject, role)
+        assert proof is not None
+        result = verifier.verify(proof)
+        assert result.ok, result.errors
+
+    @pytest.mark.parametrize(
+        "component,goal",
+        [
+            ("Mail.MailClient", "Comp.NY.Executable"),
+            ("Mail.Encryptor", "Comp.SD.Executable"),
+            ("Mail.Decryptor", "Inc.SE.Executable"),
+        ],
+    )
+    def test_component_proofs(self, shared_scenario, verifier, component, goal):
+        proof = shared_scenario.engine.find_proof(
+            Role.parse(component), Role.parse(goal)
+        )
+        assert proof is not None
+        result = verifier.verify(proof)
+        assert result.ok, result.errors
+
+    def test_both_directions_verify(self, shared_scenario, verifier):
+        for direction in ("regression", "progression"):
+            proof = shared_scenario.engine.find_proof(
+                "Charlie", "Comp.NY.Partner", direction=direction
+            )
+            assert proof is not None
+            assert verifier.verify(proof).ok

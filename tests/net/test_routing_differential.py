@@ -1,0 +1,87 @@
+"""Differential routing test: our Dijkstra vs networkx on random graphs.
+
+The planner's placement decisions ride on shortest-path costs, so routing
+correctness is load-bearing; networkx provides the independent oracle.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LinkDownError
+from repro.net.simnet import Network
+
+PROBE = 1024
+
+
+@st.composite
+def random_topology(draw):
+    n = draw(st.integers(2, 10))
+    nodes = [f"n{i}" for i in range(n)]
+    possible = [(a, b) for i, a in enumerate(nodes) for b in nodes[i + 1 :]]
+    edge_count = draw(st.integers(1, len(possible)))
+    indices = draw(
+        st.lists(
+            st.integers(0, len(possible) - 1),
+            min_size=edge_count,
+            max_size=edge_count,
+            unique=True,
+        )
+    )
+    latencies = draw(
+        st.lists(
+            st.floats(0.001, 1.0, allow_nan=False),
+            min_size=edge_count,
+            max_size=edge_count,
+        )
+    )
+    return nodes, [(possible[i], lat) for i, lat in zip(indices, latencies)]
+
+
+def build_pair(nodes, edges):
+    net = Network()
+    graph = nx.Graph()
+    for name in nodes:
+        net.add_node(name)
+        graph.add_node(name)
+    for (a, b), latency in edges:
+        link = net.add_link(a, b, latency_s=latency, bandwidth_bps=1e9)
+        graph.add_edge(a, b, weight=link.transfer_delay(PROBE))
+    return net, graph
+
+
+class TestDifferentialRouting:
+    @settings(max_examples=60, deadline=None)
+    @given(topology=random_topology(), data=st.data())
+    def test_path_costs_match_networkx(self, topology, data):
+        nodes, edges = topology
+        net, graph = build_pair(nodes, edges)
+        src = data.draw(st.sampled_from(nodes))
+        dst = data.draw(st.sampled_from(nodes))
+        try:
+            ours = net.shortest_path(src, dst)
+        except LinkDownError:
+            assert not nx.has_path(graph, src, dst)
+            return
+        assert nx.has_path(graph, src, dst)
+        expected = nx.shortest_path_length(graph, src, dst, weight="weight")
+        actual = net.path_delay(ours, PROBE)
+        assert actual == pytest.approx(expected, rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(topology=random_topology(), data=st.data())
+    def test_returned_path_is_connected(self, topology, data):
+        nodes, edges = topology
+        net, _ = build_pair(nodes, edges)
+        src = data.draw(st.sampled_from(nodes))
+        dst = data.draw(st.sampled_from(nodes))
+        try:
+            path = net.shortest_path(src, dst)
+        except LinkDownError:
+            return
+        assert path[0] == src and path[-1] == dst
+        for a, b in zip(path, path[1:]):
+            assert net.link(a, b).up

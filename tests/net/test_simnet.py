@@ -1,0 +1,106 @@
+"""Topology and routing tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LinkDownError, NetworkError
+from repro.net.simnet import Network
+
+
+@pytest.fixture()
+def triangle():
+    net = Network()
+    for name in ("a", "b", "c"):
+        net.add_node(name, domain="D")
+    net.add_link("a", "b", latency_s=0.001)
+    net.add_link("b", "c", latency_s=0.001)
+    net.add_link("a", "c", latency_s=0.100)  # slow direct path
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self, triangle):
+        with pytest.raises(NetworkError):
+            triangle.add_node("a")
+
+    def test_duplicate_link_rejected(self, triangle):
+        with pytest.raises(NetworkError):
+            triangle.add_link("a", "b")
+
+    def test_self_link_rejected(self, triangle):
+        with pytest.raises(NetworkError):
+            triangle.add_link("a", "a")
+
+    def test_link_needs_existing_nodes(self, triangle):
+        with pytest.raises(NetworkError):
+            triangle.add_link("a", "zz")
+
+    def test_link_lookup_symmetric(self, triangle):
+        assert triangle.link("a", "b") is triangle.link("b", "a")
+
+    def test_unknown_node(self, triangle):
+        with pytest.raises(NetworkError):
+            triangle.node("zz")
+
+    def test_domain_filter(self, triangle):
+        assert len(triangle.nodes_in_domain("D")) == 3
+        assert triangle.nodes_in_domain("X") == []
+
+
+class TestRouting:
+    def test_prefers_low_latency_multihop(self, triangle):
+        # a->b->c (2ms) beats the 100ms direct link.
+        assert triangle.shortest_path("a", "c") == ["a", "b", "c"]
+
+    def test_trivial_path(self, triangle):
+        assert triangle.shortest_path("a", "a") == ["a"]
+
+    def test_down_link_rerouted(self, triangle):
+        triangle.link("a", "b").up = False
+        assert triangle.shortest_path("a", "c") == ["a", "c"]
+
+    def test_disconnected_raises(self, triangle):
+        triangle.link("a", "b").up = False
+        triangle.link("a", "c").up = False
+        with pytest.raises(LinkDownError):
+            triangle.shortest_path("a", "c")
+
+    def test_path_delay_accumulates(self, triangle):
+        path = ["a", "b", "c"]
+        delay = triangle.path_delay(path, 0)
+        assert delay == pytest.approx(0.002)
+
+    def test_bandwidth_affects_delay(self):
+        net = Network()
+        net.add_node("x")
+        net.add_node("y")
+        net.add_link("x", "y", latency_s=0.0, bandwidth_bps=8_000)
+        # 1000 bytes at 8 kbit/s = 1 second.
+        assert net.path_delay(["x", "y"], 1000) == pytest.approx(1.0)
+
+    def test_min_bandwidth(self, triangle):
+        triangle.link("a", "b").bandwidth_bps = 5e6
+        assert triangle.min_bandwidth(["a", "b", "c"]) == 5e6
+
+    def test_path_security(self, triangle):
+        assert triangle.path_is_secure(["a", "b", "c"])
+        triangle.link("b", "c").secure = False
+        assert not triangle.path_is_secure(["a", "b", "c"])
+
+
+class TestServices:
+    def test_bind_and_deliver(self, triangle):
+        seen = []
+        triangle.node("a").bind("svc", lambda payload, sender: seen.append((payload, sender)))
+        triangle.node("a").deliver("svc", b"hi", "b")
+        assert seen == [(b"hi", "b")]
+
+    def test_missing_service(self, triangle):
+        with pytest.raises(NetworkError):
+            triangle.node("a").deliver("nope", b"", "b")
+
+    def test_unbind(self, triangle):
+        triangle.node("a").bind("svc", lambda p, s: None)
+        triangle.node("a").unbind("svc")
+        assert not triangle.node("a").has_service("svc")

@@ -1,0 +1,114 @@
+"""Component model tests: ports, property satisfaction, view derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.psf.component import ComponentType, Port, view_component
+from repro.views.spec import (
+    InterfaceMode,
+    InterfaceRestriction,
+    ViewSpec,
+)
+
+
+class TestPort:
+    def test_boolean_property_requires_equality(self):
+        port = Port("MailI", {"encrypted": True})
+        assert port.satisfies({"encrypted": True})
+        assert not port.satisfies({"encrypted": False})
+
+    def test_numeric_property_is_minimum(self):
+        port = Port("MailI", {"throughput": 100})
+        assert port.satisfies({"throughput": 50})
+        assert not port.satisfies({"throughput": 200})
+
+    def test_missing_property_fails(self):
+        assert not Port("MailI").satisfies({"encrypted": True})
+
+    def test_no_requirements_always_satisfied(self):
+        assert Port("MailI").satisfies({})
+
+    def test_string_property_equality(self):
+        port = Port("MailI", {"codec": "json"})
+        assert port.satisfies({"codec": "json"})
+        assert not port.satisfies({"codec": "xml"})
+
+
+class TestComponentType:
+    def test_implements_interface(self):
+        component = ComponentType("C", implements=(Port("A"), Port("B")))
+        assert component.implements_interface("A", {})
+        assert not component.implements_interface("Z", {})
+
+    def test_implemented_port_lookup(self):
+        port = Port("A", {"x": 1})
+        component = ComponentType("C", implements=(port,))
+        assert component.implemented_port("A") is port
+        assert component.implemented_port("Z") is None
+
+    def test_str(self):
+        component = ComponentType(
+            "Enc", implements=(Port("SecMailI"),), requires=(Port("MailI"),)
+        )
+        assert "SecMailI" in str(component) and "MailI" in str(component)
+
+
+class TestViewComponent:
+    def _base(self):
+        return ComponentType(
+            "MailServer",
+            implements=(Port("MailI"),),
+            cpu_demand=50,
+        )
+
+    def test_local_only_view_requires_origin_for_replication(self):
+        spec = ViewSpec(
+            name="CacheView",
+            represents="MailServer",
+            interfaces=(InterfaceRestriction("MailI", InterfaceMode.LOCAL),),
+            replicated_fields=("mailboxes",),
+        )
+        derived = view_component(self._base(), spec)
+        assert derived.is_view
+        assert [p.interface for p in derived.implements] == ["MailI"]
+        assert [p.interface for p in derived.requires] == ["MailI"]
+        assert derived.requires[0].properties["view_origin"] == "MailServer"
+        assert derived.requires[0].properties["privacy"] is True
+
+    def test_remote_interfaces_become_requirements(self):
+        spec = ViewSpec(
+            name="GatewayView",
+            represents="MailServer",
+            interfaces=(InterfaceRestriction("MailI", InterfaceMode.SWITCHBOARD),),
+        )
+        derived = view_component(self._base(), spec)
+        assert [p.interface for p in derived.requires] == ["MailI"]
+
+    def test_pure_local_view_with_no_state_requires_nothing(self):
+        spec = ViewSpec(
+            name="StatelessView",
+            represents="MailServer",
+            interfaces=(InterfaceRestriction("MailI", InterfaceMode.LOCAL),),
+        )
+        derived = view_component(self._base(), spec)
+        assert derived.requires == ()
+
+    def test_cpu_override(self):
+        spec = ViewSpec(name="V", represents="MailServer")
+        derived = view_component(self._base(), spec, cpu_demand=5)
+        assert derived.cpu_demand == 5
+
+    def test_inherits_base_role_and_constraints(self):
+        from repro.drbac.model import Role
+        from repro.drbac.query import Constraint
+
+        base = ComponentType(
+            "S",
+            implements=(Port("I"),),
+            component_role=Role("Mail", "S"),
+            node_constraints=(Constraint.parse("Mail.Node"),),
+        )
+        derived = view_component(base, ViewSpec(name="V", represents="S"))
+        assert derived.component_role == Role("Mail", "S")
+        assert derived.node_constraints == base.node_constraints

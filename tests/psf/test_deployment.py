@@ -1,0 +1,133 @@
+"""Deployment tests: instantiation, credentials, exports, and wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.psf import EdgeRequirement, ServiceRequest
+
+
+def request(**kwargs):
+    defaults = dict(client="Bob", client_node="sd-pc1", interface="MailI")
+    defaults.update(kwargs)
+    return ServiceRequest(**defaults)
+
+
+class TestCacheDeployment:
+    @pytest.fixture()
+    def deployed(self, scenario_factory):
+        scenario = scenario_factory()
+        plan = scenario.psf.planner().plan(
+            request(qos=EdgeRequirement(privacy=True, channel="rmi"))
+        )
+        deployment = scenario.psf.deployer.deploy(plan)
+        return scenario, plan, deployment
+
+    def test_view_instance_created_by_vig(self, deployed):
+        scenario, plan, deployment = deployed
+        instance = next(iter(deployment.instances.values()))
+        assert type(instance.obj).__name__ == "ViewMailServer"
+        assert scenario.psf.vig.stats.generated == 1
+
+    def test_instance_receives_credentials(self, deployed):
+        scenario, plan, deployment = deployed
+        instance = next(iter(deployment.instances.values()))
+        assert instance.credentials
+        cred = instance.credentials[0]
+        assert str(cred.role) == "Mail.ViewMailServer"
+        # The instance can prove its executable role in SD.
+        proof = scenario.engine.find_proof(
+            instance.instance_id, "Comp.SD.Executable"
+        )
+        assert proof is not None
+
+    def test_client_reads_through_cache(self, deployed):
+        scenario, plan, deployment = deployed
+        scenario.server.sendMail(
+            {"sender": "Alice", "recipient": "Bob", "subject": "s", "body": "b"}
+        )
+        access = deployment.client_access()
+        assert [m["subject"] for m in access.fetchMail("Bob")] == ["s"]
+
+    def test_client_writes_propagate_to_origin(self, deployed):
+        scenario, plan, deployment = deployed
+        access = deployment.client_access()
+        access.sendMail(
+            {"sender": "Bob", "recipient": "Alice", "subject": "w", "body": "b"}
+        )
+        assert scenario.server.fetchMail("Alice")[0]["subject"] == "w"
+
+    def test_second_deployment_hits_vig_cache(self, deployed):
+        scenario, plan, deployment = deployed
+        plan2 = scenario.psf.planner().plan(
+            request(client="Alice", client_node="sd-pc2",
+                    qos=EdgeRequirement(privacy=True, channel="rmi"))
+        )
+        scenario.psf.deployer.deploy(plan2)
+        assert scenario.psf.vig.stats.generated == 1
+        assert scenario.psf.vig.stats.cache_hits >= 1
+
+
+class TestEncryptorChainDeployment:
+    @pytest.fixture()
+    def deployed(self, scenario_factory):
+        scenario = scenario_factory()
+        plan = scenario.psf.planner(use_views=False).plan(
+            request(qos=EdgeRequirement(privacy=True, channel="rmi"))
+        )
+        deployment = scenario.psf.deployer.deploy(plan)
+        return scenario, plan, deployment
+
+    def test_factories_receive_dependencies(self, deployed):
+        scenario, plan, deployment = deployed
+        names = {i.component.name for i in deployment.instances.values()}
+        assert names == {"Encryptor", "Decryptor"}
+
+    def test_end_to_end_mail_flow(self, deployed):
+        scenario, plan, deployment = deployed
+        access = deployment.client_access()
+        access.sendMail(
+            {"sender": "Bob", "recipient": "Alice", "subject": "x", "body": "y"}
+        )
+        assert scenario.server.fetchMail("Alice")[0]["body"] == "y"
+
+    def test_wan_carries_only_ciphertext(self, deployed):
+        scenario, plan, deployment = deployed
+        snoops = []
+        scenario.psf.transport.observe_link(
+            "ny-gw", "sd-gw", lambda p, s, d: snoops.append(p)
+        )
+        access = deployment.client_access()
+        access.sendMail(
+            {"sender": "Bob", "recipient": "Alice", "subject": "q",
+             "body": "CONFIDENTIAL-PAYLOAD"}
+        )
+        access.fetchMail("Alice")
+        assert snoops, "traffic must actually cross the WAN"
+        assert not any(b"CONFIDENTIAL-PAYLOAD" in p for p in snoops)
+
+
+class TestClientAccessModes:
+    def test_local_access_returns_object(self, scenario_factory):
+        scenario = scenario_factory()
+        plan = scenario.psf.planner().plan(
+            request(client="Alice", client_node="ny-server")
+        )
+        deployment = scenario.psf.deployer.deploy(plan)
+        assert deployment.client_access() is scenario.server
+
+    def test_rmi_access(self, scenario_factory):
+        scenario = scenario_factory()
+        plan = scenario.psf.planner().plan(request())
+        deployment = scenario.psf.deployer.deploy(plan)
+        access = deployment.client_access()
+        assert access.listAccounts() == ["Alice", "Bob", "Charlie"]
+
+    def test_switchboard_access(self, scenario_factory):
+        scenario = scenario_factory()
+        plan = scenario.psf.planner().plan(
+            request(qos=EdgeRequirement(privacy=True))
+        )
+        deployment = scenario.psf.deployer.deploy(plan)
+        access = deployment.client_access()
+        assert access.listAccounts() == ["Alice", "Bob", "Charlie"]

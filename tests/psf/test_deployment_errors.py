@@ -1,0 +1,89 @@
+"""Deployment failure-path tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeploymentError
+from repro.psf import EdgeRequirement, ServiceRequest
+from repro.psf.planner import DeploymentPlan, PlannedComponent, PlannedLink
+
+
+def request(**kwargs):
+    defaults = dict(client="Bob", client_node="sd-pc1", interface="MailI")
+    defaults.update(kwargs)
+    return ServiceRequest(**defaults)
+
+
+class TestDeployerErrors:
+    def test_component_without_factory_or_spec(self, scenario_factory):
+        scenario = scenario_factory()
+        from repro.psf.component import ComponentType, Port
+
+        broken = ComponentType(name="Broken", implements=(Port("MailI"),))
+        plan = DeploymentPlan(
+            request=request(),
+            components=[PlannedComponent("px1", broken, "sd-pc1")],
+            links=[
+                PlannedLink("client", "px1", "MailI", ("sd-pc1",), "local")
+            ],
+            entry_instance="px1",
+        )
+        with pytest.raises(DeploymentError, match="neither a factory"):
+            scenario.psf.deployer.deploy(plan)
+
+    def test_unknown_provider_rejected(self, scenario_factory):
+        scenario = scenario_factory()
+        plan = DeploymentPlan(
+            request=request(),
+            components=[],
+            links=[PlannedLink("client", "GhostSvc", "MailI", ("sd-pc1",), "rmi")],
+            entry_instance="GhostSvc",
+        )
+        deployment = scenario.psf.deployer.deploy(plan)
+        with pytest.raises(DeploymentError, match="unknown provider"):
+            deployment.client_access()
+
+    def test_mislabelled_local_link_rejected(self, scenario_factory):
+        scenario = scenario_factory()
+        plan = DeploymentPlan(
+            request=request(client_node="sd-pc1"),
+            components=[],
+            links=[
+                # MailServer lives on ny-server; calling it "local" from
+                # sd-pc1 is a planner bug the deployer must catch.
+                PlannedLink("p-fake", "MailServer", "MailI", ("sd-pc1",), "local")
+            ],
+            entry_instance="MailServer",
+        )
+        deployment = scenario.psf.deployer.deploy(plan)
+        with pytest.raises(DeploymentError, match="local but nodes differ"):
+            deployment.access_provider(plan.links[0], from_node="sd-pc1")
+
+    def test_plan_without_client_link(self, scenario_factory):
+        scenario = scenario_factory()
+        plan = DeploymentPlan(
+            request=request(), components=[], links=[], entry_instance=""
+        )
+        deployment = scenario.psf.deployer.deploy(plan)
+        with pytest.raises(DeploymentError, match="no client entry link"):
+            deployment.client_access()
+
+    def test_context_requires_unplanned_interface(self, scenario_factory):
+        scenario = scenario_factory()
+        from repro.psf.deployment import DeploymentContext
+
+        plan = scenario.psf.planner().plan(request())
+        deployment = scenario.psf.deployer.deploy(plan)
+        context = DeploymentContext("pz9", "sd-pc1", deployment, plan.links)
+        with pytest.raises(DeploymentError, match="no planned link"):
+            context.require("GhostI")
+
+
+class TestDeployCountAccounting:
+    def test_deploy_count_increments(self, scenario_factory):
+        scenario = scenario_factory()
+        before = scenario.psf.deployer.deploy_count
+        plan = scenario.psf.planner().plan(request())
+        scenario.psf.deployer.deploy(plan)
+        assert scenario.psf.deployer.deploy_count == before + 1

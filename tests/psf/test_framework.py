@@ -1,0 +1,82 @@
+"""PSF façade tests: request_service and serve_client_view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AuthorizationError, PsfError
+from repro.mail import MailClient
+from repro.psf import EdgeRequirement, ServiceRequest
+
+
+class TestRequestService:
+    def test_full_flow(self, scenario_factory):
+        scenario = scenario_factory()
+        session = scenario.psf.request_service(
+            ServiceRequest(
+                client="Bob",
+                client_node="sd-pc1",
+                interface="MailI",
+                qos=EdgeRequirement(privacy=True, channel="rmi"),
+            )
+        )
+        session.access.sendMail(
+            {"sender": "Bob", "recipient": "Alice", "subject": "s", "body": "b"}
+        )
+        assert scenario.server.fetchMail("Alice")
+
+
+class TestServeClientView:
+    """The Table 4 single-sign-on path."""
+
+    def _client(self, scenario):
+        accounts = {"Alice": {"name": "Alice", "phone": "1", "email": "a@x"}}
+        return MailClient(owner="shared", accounts=accounts)
+
+    def test_member_view_full_function(self, scenario_factory):
+        scenario = scenario_factory()
+        view, decision = scenario.psf.serve_client_view(
+            "MailClient", "Alice", original=self._client(scenario)
+        )
+        assert decision.view_name == "ViewMailClient_Member"
+        assert view.addMeeting("standup") is True
+        assert view.getPhone("Alice") == "1"
+
+    def test_cross_domain_member(self, scenario_factory):
+        scenario = scenario_factory()
+        view, decision = scenario.psf.serve_client_view(
+            "MailClient", "Bob", original=self._client(scenario),
+            credentials=scenario.client_wallet("Bob").credentials(),
+        )
+        assert decision.view_name == "ViewMailClient_Member"
+
+    def test_partner_gets_restricted_meeting(self, scenario_factory):
+        scenario = scenario_factory()
+        original = self._client(scenario)
+        from repro.views import ViewRuntime
+
+        runtime = ViewRuntime(local_objects={"MailClient": original})
+        # Partner view routes NotesI over rmi and AddressI over
+        # switchboard; for the local test we pre-bind local stubs by
+        # keeping everything local via the naming-free runtime: instead,
+        # resolve through deployment-grade wiring in the e2e tests.  Here
+        # we check the policy decision only.
+        policy = scenario.psf.registrar.policy("MailClient")
+        decision = policy.resolve(
+            "Charlie", scenario.engine,
+            scenario.client_wallet("Charlie").credentials(),
+        )
+        assert decision.view_name == "ViewMailClient_Partner"
+
+    def test_anonymous_default(self, scenario_factory):
+        scenario = scenario_factory()
+        policy = scenario.psf.registrar.policy("MailClient")
+        decision = policy.resolve("Stranger", scenario.engine)
+        assert decision.view_name == "ViewMailClient_Anonymous"
+
+    def test_missing_policy_raises(self, scenario_factory):
+        scenario = scenario_factory()
+        with pytest.raises(PsfError):
+            scenario.psf.serve_client_view(
+                "MailServer", "Alice", original=scenario.server
+            )

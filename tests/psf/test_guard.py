@@ -1,0 +1,76 @@
+"""Guard tests: the §3.3 certificate-generation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drbac.model import AttrScalar, Role
+from repro.psf.guard import Guard
+
+
+@pytest.fixture()
+def ny(engine):
+    return Guard(engine, "Comp.NY")
+
+
+@pytest.fixture()
+def sd(engine):
+    return Guard(engine, "Comp.SD")
+
+
+class TestCertificates:
+    def test_certify_member(self, engine, ny):
+        ny.certify_member("Alice")
+        assert engine.find_proof("Alice", "Comp.NY.Member") is not None
+
+    def test_map_role_cross_domain(self, engine, ny, sd):
+        sd.certify_member("Bob")
+        ny.map_role(Role("Comp.SD", "Member"), "Member")
+        assert engine.find_proof("Bob", "Comp.NY.Member") is not None
+
+    def test_grant_assignment_enables_third_party(self, engine, ny, sd):
+        ny.grant_assignment("Comp.SD", "Partner")
+        sd.certify(Role("Inc.SE", "Member"), Role("Comp.NY", "Partner"))
+        engine.delegate("Inc.SE", "Charlie", "Inc.SE.Member")
+        assert engine.find_proof("Charlie", "Comp.NY.Partner") is not None
+
+    def test_issued_log(self, ny):
+        ny.certify_member("Alice")
+        assert len(ny.issued) == 1
+
+    def test_role_namespace(self, ny):
+        assert str(ny.role("Member")) == "Comp.NY.Member"
+        assert str(ny.executable_role) == "Comp.NY.Executable"
+
+
+class TestComponentBudgets:
+    def test_cpu_attenuates_across_domains(self, engine, ny, sd):
+        ny.certify(
+            Role("Mail", "Enc"), ny.executable_role, attributes={"CPU": AttrScalar(100)}
+        )
+        sd.accept_executables(ny.executable_role, cpu=80)
+        assert sd.component_cpu_budget(Role("Mail", "Enc")) == 80
+        assert ny.component_cpu_budget(Role("Mail", "Enc")) == 100
+
+    def test_unauthorized_component_none(self, sd):
+        assert sd.component_cpu_budget(Role("Mail", "Ghost")) is None
+
+    def test_budget_without_cpu_attribute_unbounded(self, engine, ny):
+        ny.certify(Role("Mail", "Free"), ny.executable_role)
+        assert ny.component_cpu_budget(Role("Mail", "Free")) == float("inf")
+
+
+class TestAuthorization:
+    def test_authorize_client(self, engine, ny):
+        ny.certify_member("Alice")
+        result = ny.authorize_client("Alice", "Comp.NY.Member")
+        assert result.valid
+
+    def test_node_satisfies(self, engine, ny):
+        from repro.drbac.model import AttrSet
+
+        engine.delegate(
+            "Mail", "node1", "Mail.Node", attributes={"Secure": AttrSet([True])}
+        )
+        assert ny.node_satisfies("node1", "Mail.Node with Secure={true}")
+        assert not ny.node_satisfies("node1", "Mail.Node with Secure={false}")

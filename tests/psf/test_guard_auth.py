@@ -1,0 +1,52 @@
+"""Guard challenge-response authentication tests (§3.3)."""
+
+from __future__ import annotations
+
+from repro.psf.guard import Guard
+
+
+class TestChallengeResponse:
+    def test_successful_authentication(self, engine):
+        guard = Guard(engine, "Comp.NY")
+        alice = engine.identity("Alice")
+        assert guard.authenticate("Alice", alice.sign)
+
+    def test_wrong_key_rejected(self, engine):
+        guard = Guard(engine, "Comp.NY")
+        engine.identity("Alice")
+        mallory = engine.identity("Mallory")
+        assert not guard.authenticate("Alice", mallory.sign)
+
+    def test_unknown_principal_rejected(self, engine):
+        guard = Guard(engine, "Comp.NY")
+        challenge = guard.challenge("Ghost-Principal")
+        # Any bytes fail: the PKI has no key bound to the name.
+        assert not guard.verify_response("Ghost-Principal", b"\x00" * 64)
+
+    def test_challenge_is_one_shot(self, engine):
+        guard = Guard(engine, "Comp.NY")
+        alice = engine.identity("Alice")
+        challenge = guard.challenge("Alice")
+        signature = alice.sign(challenge)
+        assert guard.verify_response("Alice", signature)
+        # Replaying the same signature fails: the nonce was consumed.
+        assert not guard.verify_response("Alice", signature)
+
+    def test_challenges_are_fresh(self, engine):
+        guard = Guard(engine, "Comp.NY")
+        assert guard.challenge("Alice") != guard.challenge("Alice")
+
+    def test_challenge_bound_to_domain(self, engine):
+        ny = Guard(engine, "Comp.NY")
+        sd = Guard(engine, "Comp.SD")
+        alice = engine.identity("Alice")
+        ny_challenge = ny.challenge("Alice")
+        signature = alice.sign(ny_challenge)
+        sd.challenge("Alice")
+        # A signature over NY's challenge does not satisfy SD's.
+        assert not sd.verify_response("Alice", signature)
+
+    def test_no_outstanding_challenge_rejected(self, engine):
+        guard = Guard(engine, "Comp.NY")
+        alice = engine.identity("Alice")
+        assert not guard.verify_response("Alice", alice.sign(b"anything"))

@@ -1,0 +1,48 @@
+"""Environment-monitor tests."""
+
+from __future__ import annotations
+
+from repro.net.simnet import Network
+from repro.psf.monitor import EnvironmentMonitor
+
+
+def make_net():
+    net = Network()
+    net.add_node("a", domain="NY", properties={"vendor": "Dell"})
+    net.add_node("b", domain="SD")
+    net.add_link("a", "b", latency_s=0.01, bandwidth_bps=1e6, secure=False)
+    return net
+
+
+class TestSnapshot:
+    def test_nodes_and_links_reported(self):
+        monitor = EnvironmentMonitor(make_net())
+        snap = monitor.snapshot()
+        assert {n.name for n in snap.nodes} == {"a", "b"}
+        assert snap.links[0].secure is False
+        assert dict(snap.nodes[0].properties).get("vendor") == "Dell"
+
+
+class TestChanges:
+    def test_bandwidth_change_notifies(self):
+        monitor = EnvironmentMonitor(make_net())
+        seen = []
+        monitor.on_change(lambda kind, report: seen.append((kind, report.bandwidth_bps)))
+        monitor.set_link_bandwidth("a", "b", 5e5)
+        assert seen == [("bandwidth", 5e5)]
+        assert monitor.network.link("a", "b").bandwidth_bps == 5e5
+
+    def test_security_change_notifies(self):
+        monitor = EnvironmentMonitor(make_net())
+        seen = []
+        monitor.on_change(lambda kind, report: seen.append(kind))
+        monitor.set_link_security("a", "b", True)
+        assert seen == ["security"]
+
+    def test_latency_and_updown(self):
+        monitor = EnvironmentMonitor(make_net())
+        monitor.set_link_latency("a", "b", 0.2)
+        monitor.set_link_up("a", "b", False)
+        assert monitor.network.link("a", "b").latency_s == 0.2
+        assert not monitor.network.link("a", "b").up
+        assert monitor.changes_observed == 2

@@ -1,0 +1,107 @@
+"""Plan enumeration and cost-optimal selection tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.psf import EdgeRequirement, ServiceRequest
+from repro.psf.adaptation import plan_signature
+
+
+def request(**kwargs):
+    defaults = dict(client="Bob", client_node="sd-pc1", interface="MailI")
+    defaults.update(kwargs)
+    return ServiceRequest(**defaults)
+
+
+class TestEnumeration:
+    def test_multiple_feasible_configurations(self, shared_scenario):
+        planner = shared_scenario.psf.planner()
+        plans = planner.enumerate_plans(
+            request(qos=EdgeRequirement(privacy=True, channel="rmi"))
+        )
+        assert len(plans) > 1
+        names = {tuple(sorted(p.deployed_names())) for p in plans}
+        assert ("ViewMailServer",) in names
+        assert ("Decryptor", "Encryptor") in names
+
+    def test_limit_respected(self, shared_scenario):
+        planner = shared_scenario.psf.planner()
+        plans = planner.enumerate_plans(
+            request(qos=EdgeRequirement(privacy=True, channel="rmi")), limit=3
+        )
+        assert len(plans) <= 3
+
+    def test_infeasible_request_enumerates_nothing(self, shared_scenario):
+        planner = shared_scenario.psf.planner()
+        assert planner.enumerate_plans(request(interface="GhostI")) == []
+
+    def test_every_enumerated_plan_is_well_formed(self, shared_scenario):
+        """Invariant: all links reference planned or existing providers,
+        every planned component's requirements are wired, and the client
+        edge exists."""
+        planner = shared_scenario.psf.planner()
+        existing = {i.name for i in planner.existing}
+        plans = planner.enumerate_plans(
+            request(qos=EdgeRequirement(privacy=True, channel="rmi"))
+        )
+        for plan in plans:
+            ids = {p.instance_id for p in plan.components}
+            consumers = {l.consumer for l in plan.links}
+            assert "client" in consumers
+            for link in plan.links:
+                assert link.provider in ids | existing
+                assert link.consumer == "client" or link.consumer in ids
+            for planned in plan.components:
+                wired = {
+                    l.interface for l in plan.links if l.consumer == planned.instance_id
+                }
+                needed = {p.interface for p in planned.component.requires}
+                assert needed <= wired
+
+    def test_enumerated_plans_deploy_and_work(self, scenario_factory):
+        """Not just the heuristic favourite: an alternative configuration
+        from the enumeration also deploys and serves."""
+        scenario = scenario_factory()
+        planner = scenario.psf.planner()
+        plans = planner.enumerate_plans(
+            request(qos=EdgeRequirement(privacy=True, channel="rmi"))
+        )
+        encryptor_plan = next(
+            p for p in plans if sorted(p.deployed_names()) == ["Decryptor", "Encryptor"]
+        )
+        deployment = scenario.psf.deployer.deploy(encryptor_plan)
+        access = deployment.client_access()
+        access.sendMail({"sender": "Bob", "recipient": "Alice", "subject": "s", "body": "b"})
+        assert scenario.server.fetchMail("Alice")
+
+
+class TestOptimalSelection:
+    def test_optimal_never_costlier_than_heuristic(self, shared_scenario):
+        planner = shared_scenario.psf.planner()
+        for qos in (
+            EdgeRequirement(privacy=True, channel="rmi"),
+            EdgeRequirement(min_bandwidth_bps=50e6),
+            EdgeRequirement(),
+        ):
+            heuristic = planner.plan(request(qos=qos))
+            optimal = planner.plan(request(qos=qos), optimize=True)
+            assert planner.plan_cost(optimal) <= planner.plan_cost(heuristic) + 1e-9
+
+    def test_optimize_raises_when_infeasible(self, shared_scenario):
+        planner = shared_scenario.psf.planner()
+        with pytest.raises(PlanningError):
+            planner.plan(request(interface="GhostI"), optimize=True)
+
+    def test_cost_prefers_fewer_components(self, shared_scenario):
+        planner = shared_scenario.psf.planner()
+        optimal = planner.plan(
+            request(qos=EdgeRequirement(privacy=True, channel="rmi")), optimize=True
+        )
+        assert optimal.deployed_names() == ["ViewMailServer"]
+
+    def test_cost_counts_path_delay(self, shared_scenario):
+        planner = shared_scenario.psf.planner()
+        direct = planner.plan(request())
+        assert planner.plan_cost(direct) > 0  # WAN latency shows up

@@ -1,0 +1,168 @@
+"""Planner tests against the mail scenario topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.psf import EdgeRequirement, ServiceRequest
+
+
+def request(**kwargs):
+    defaults = dict(client="Bob", client_node="sd-pc1", interface="MailI")
+    defaults.update(kwargs)
+    return ServiceRequest(**defaults)
+
+
+class TestDirectLinking:
+    def test_no_constraints_links_existing_server(self, shared_scenario):
+        plan = shared_scenario.psf.planner().plan(request())
+        assert plan.components == []
+        assert plan.entry_instance == "MailServer"
+        assert plan.links[0].mode == "rmi"
+
+    def test_privacy_over_insecure_path_uses_switchboard(self, shared_scenario):
+        plan = shared_scenario.psf.planner().plan(
+            request(qos=EdgeRequirement(privacy=True))
+        )
+        assert plan.components == []
+        assert plan.links[0].mode == "switchboard"
+
+    def test_secure_lan_path_keeps_rmi(self, shared_scenario):
+        plan = shared_scenario.psf.planner().plan(
+            request(client="Alice", client_node="ny-pc1", qos=EdgeRequirement(privacy=True))
+        )
+        assert plan.links[0].mode == "rmi"
+
+
+class TestAdaptation:
+    def test_bulk_privacy_deploys_cache_with_secure_sync(self, shared_scenario):
+        plan = shared_scenario.psf.planner().plan(
+            request(qos=EdgeRequirement(privacy=True, channel="rmi"))
+        )
+        assert plan.deployed_names() == ["ViewMailServer"]
+        assert plan.components[0].node.startswith("sd-")
+        sync_link = [l for l in plan.links if l.consumer != "client"][0]
+        assert sync_link.mode == "switchboard"
+
+    def test_bulk_privacy_without_views_builds_encryptor_chain(self, shared_scenario):
+        plan = shared_scenario.psf.planner(use_views=False).plan(
+            request(qos=EdgeRequirement(privacy=True, channel="rmi"))
+        )
+        names = plan.deployed_names()
+        assert sorted(names) == ["Decryptor", "Encryptor"]
+        by_name = {p.component.name: p.node for p in plan.components}
+        assert by_name["Decryptor"].startswith("sd-")  # near the client
+        assert by_name["Encryptor"].startswith("ny-")  # near the server
+
+    def test_low_bandwidth_deploys_cache_near_client(self, shared_scenario):
+        plan = shared_scenario.psf.planner().plan(
+            request(qos=EdgeRequirement(min_bandwidth_bps=50e6))
+        )
+        assert plan.deployed_names() == ["ViewMailServer"]
+        assert plan.components[0].node == "sd-pc1"
+
+    def test_low_bandwidth_without_views_fails(self, shared_scenario):
+        # Encryptors are bandwidth-transparent, so nothing can bridge the
+        # 10 Mbps WAN: the cache is the only answer (the paper's E-PLAN
+        # claim that views enlarge the feasible set).
+        with pytest.raises(PlanningError):
+            shared_scenario.psf.planner(use_views=False).plan(
+                request(qos=EdgeRequirement(min_bandwidth_bps=50e6))
+            )
+
+    def test_latency_bound_deploys_cache(self, shared_scenario):
+        plan = shared_scenario.psf.planner().plan(
+            request(qos=EdgeRequirement(max_latency_s=0.010))
+        )
+        assert plan.deployed_names() == ["ViewMailServer"]
+
+
+class TestAuthorizationGating:
+    def test_cache_cannot_land_on_seattle_nodes(self, shared_scenario):
+        # SE machines are IBM.Windows: Secure={false}, Trust=(0,1), which
+        # fails the cache's Secure={true} Trust=(0,5) constraint.  A cache
+        # anywhere else cannot satisfy the client's bandwidth edge, so the
+        # request is genuinely unplannable: untrusted hardware blocks the
+        # adaptation (the flip side of the paper's node-authorization story).
+        with pytest.raises(PlanningError):
+            shared_scenario.psf.planner().plan(
+                request(
+                    client="Charlie",
+                    client_node="se-pc1",
+                    qos=EdgeRequirement(min_bandwidth_bps=50e6),
+                )
+            )
+
+    def test_gateways_never_host(self, shared_scenario):
+        # Gateways hold no Mail.Node chain at all.
+        plan = shared_scenario.psf.planner().plan(
+            request(qos=EdgeRequirement(privacy=True, channel="rmi"))
+        )
+        for planned in plan.components:
+            assert "gw" not in planned.node
+
+    def test_decryptor_allowed_in_seattle(self, shared_scenario):
+        # Credential 17 gives Comp.NY executables CPU=40 in Seattle; the
+        # Decryptor demands 30 <= 40, and its node constraint is any
+        # Mail.Node.  The paper's narrative deploys it exactly there.
+        plan = shared_scenario.psf.planner(use_views=False).plan(
+            request(
+                client="Charlie",
+                client_node="se-pc1",
+                qos=EdgeRequirement(privacy=True, channel="rmi"),
+            )
+        )
+        by_name = {p.component.name: p.node for p in plan.components}
+        assert by_name["Decryptor"] == "se-pc1"
+
+    def test_cpu_budget_blocks_heavy_components(self, scenario_factory):
+        scenario = scenario_factory()
+        # Raise the Decryptor's demand beyond Seattle's 40-CPU budget
+        # (credential 17).  The decryptor must run on the client's node to
+        # deliver plaintext MailI locally, so Charlie's request becomes
+        # unplannable — the attenuated CPU attribute is load-bearing.
+        decryptor = scenario.psf.registrar.component("Decryptor")
+        decryptor.cpu_demand = 60
+        with pytest.raises(PlanningError):
+            scenario.psf.planner(use_views=False).plan(
+                request(
+                    client="Charlie",
+                    client_node="se-pc1",
+                    qos=EdgeRequirement(privacy=True, channel="rmi"),
+                )
+            )
+        # The same component is fine in San Diego (80-CPU budget, cred 14).
+        plan = scenario.psf.planner(use_views=False).plan(
+            request(qos=EdgeRequirement(privacy=True, channel="rmi"))
+        )
+        assert "Decryptor" in plan.deployed_names()
+
+
+class TestFailureModes:
+    def test_unknown_interface_fails(self, shared_scenario):
+        with pytest.raises(PlanningError):
+            shared_scenario.psf.planner().plan(request(interface="GhostI"))
+
+    def test_unsatisfiable_interface_properties_fail(self, shared_scenario):
+        # No registered component implements MailI with encrypted payloads
+        # (the Encryptor implements SecMailI instead).
+        with pytest.raises(PlanningError):
+            shared_scenario.psf.planner().plan(
+                request(required_props=(("encrypted", True),))
+            )
+
+    def test_local_cache_absorbs_any_bandwidth_demand(self, shared_scenario):
+        # A node-local cache serves from memory: even absurd bandwidth
+        # demands are satisfiable when a cache may be placed on the
+        # client's own node.
+        plan = shared_scenario.psf.planner().plan(
+            request(qos=EdgeRequirement(min_bandwidth_bps=1e15))
+        )
+        assert plan.deployed_names() == ["ViewMailServer"]
+        assert plan.components[0].node == "sd-pc1"
+
+    def test_search_counters_populated(self, shared_scenario):
+        plan = shared_scenario.psf.planner().plan(request())
+        assert plan.goals_expanded >= 1
+        assert plan.candidates_examined >= 1

@@ -1,0 +1,205 @@
+"""Planner tests on synthetic topologies, independent of the mail world."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drbac import DrbacEngine
+from repro.drbac.model import EntityRef
+from repro.net import Network
+from repro.psf.component import ComponentType, Port
+from repro.psf.guard import Guard
+from repro.psf.planner import (
+    EdgeRequirement,
+    ExistingInstance,
+    Planner,
+    ServiceRequest,
+)
+from repro.psf.registrar import Registrar
+
+
+def make_world(key_store, node_names, links):
+    """A single-domain world where every node is a certified App.Node."""
+    engine = DrbacEngine(key_store=key_store)
+    network = Network()
+    for name in node_names:
+        network.add_node(name, domain="D")
+    for a, b, kwargs in links:
+        network.add_link(a, b, **kwargs)
+    guard = Guard(engine, "Dom")
+    app = Guard(engine, "App")
+    for name in node_names:
+        app.certify(EntityRef(name), app.role("Node"))
+    return engine, network, guard, app
+
+
+def component(name, implements, requires=(), **kwargs):
+    from repro.drbac.query import Constraint
+
+    return ComponentType(
+        name=name,
+        implements=tuple(Port(i) if isinstance(i, str) else i for i in implements),
+        requires=tuple(Port(r) if isinstance(r, str) else r for r in requires),
+        node_constraints=(Constraint.parse("App.Node"),),
+        factory=lambda ctx: object(),
+        **kwargs,
+    )
+
+
+class TestChainTopology:
+    """client -- n0 -- n1 -- n2 -- server, relay must sit mid-chain."""
+
+    @pytest.fixture()
+    def world(self, key_store):
+        nodes = ["n0", "n1", "n2"]
+        links = [
+            ("n0", "n1", dict(latency_s=0.01)),
+            ("n1", "n2", dict(latency_s=0.01)),
+        ]
+        engine, network, guard, app = make_world(key_store, nodes, links)
+        registrar = Registrar()
+        registrar.register_component(
+            component("Origin", ["SvcI"], deployable=False)
+        )
+        registrar.register_component(
+            component("Relay", [Port("SvcI", {"cached": True})], requires=["SvcI"])
+        )
+        planner = Planner(
+            registrar,
+            network,
+            {"D": guard},
+            existing=[
+                ExistingInstance(
+                    name="Origin", node="n2", component=registrar.component("Origin")
+                )
+            ],
+        )
+        return planner
+
+    def test_direct_when_unconstrained(self, world):
+        plan = world.plan(ServiceRequest(client="u", client_node="n0", interface="SvcI"))
+        assert plan.components == []
+
+    def test_latency_bound_forces_local_relay(self, world):
+        plan = world.plan(
+            ServiceRequest(
+                client="u", client_node="n0", interface="SvcI",
+                qos=EdgeRequirement(max_latency_s=0.005),
+            )
+        )
+        assert plan.deployed_names() == ["Relay"]
+        assert plan.components[0].node == "n0"
+
+    def test_cached_property_requirement_forces_relay(self, world):
+        plan = world.plan(
+            ServiceRequest(
+                client="u", client_node="n0", interface="SvcI",
+                required_props=(("cached", True),),
+            )
+        )
+        assert plan.deployed_names() == ["Relay"]
+
+
+class TestDiamondTopology:
+    """Two disjoint paths, one secure and slow, one insecure and fast."""
+
+    @pytest.fixture()
+    def world(self, key_store):
+        nodes = ["src", "sec", "fast", "dst"]
+        links = [
+            ("src", "sec", dict(latency_s=0.050, secure=True)),
+            ("sec", "dst", dict(latency_s=0.050, secure=True)),
+            ("src", "fast", dict(latency_s=0.001, secure=False)),
+            ("fast", "dst", dict(latency_s=0.001, secure=False)),
+        ]
+        engine, network, guard, app = make_world(key_store, nodes, links)
+        registrar = Registrar()
+        registrar.register_component(component("Origin", ["SvcI"], deployable=False))
+        planner = Planner(
+            registrar,
+            network,
+            {"D": guard},
+            existing=[
+                ExistingInstance(
+                    name="Origin", node="dst", component=registrar.component("Origin")
+                )
+            ],
+        )
+        return network, planner
+
+    def test_routing_prefers_fast_path(self, world):
+        network, planner = world
+        plan = planner.plan(ServiceRequest(client="u", client_node="src", interface="SvcI"))
+        assert "fast" in plan.links[0].path
+
+    def test_privacy_rides_switchboard_on_fast_insecure_path(self, world):
+        network, planner = world
+        plan = planner.plan(
+            ServiceRequest(
+                client="u", client_node="src", interface="SvcI",
+                qos=EdgeRequirement(privacy=True),
+            )
+        )
+        assert plan.links[0].mode == "switchboard"
+
+    def test_privacy_bulk_unsatisfiable_without_components(self, world):
+        from repro.errors import PlanningError
+
+        network, planner = world
+        # The secure path exists but routing picks per-delay; the fast
+        # path is insecure, and no encryptor components are registered.
+        # The planner must still find the secure detour admissible? No:
+        # routing is delay-based, so the chosen path is insecure and rmi
+        # bulk privacy fails.
+        with pytest.raises(PlanningError):
+            planner.plan(
+                ServiceRequest(
+                    client="u", client_node="src", interface="SvcI",
+                    qos=EdgeRequirement(privacy=True, channel="rmi"),
+                )
+            )
+
+
+class TestAuthorizationInSyntheticWorld:
+    def test_uncertified_node_excluded(self, key_store):
+        engine, network, guard, app = make_world(
+            key_store, ["good"], []
+        )
+        network.add_node("bad", domain="D")  # never certified as App.Node
+        network.add_link("good", "bad")
+        registrar = Registrar()
+        registrar.register_component(component("Origin", ["SvcI"], deployable=False))
+        registrar.register_component(component("Relay", [Port("SvcI", {"cached": True})], requires=["SvcI"]))
+        planner = Planner(
+            registrar,
+            network,
+            {"D": guard},
+            existing=[
+                ExistingInstance(
+                    name="Origin", node="good", component=registrar.component("Origin")
+                )
+            ],
+        )
+        plan = planner.plan(
+            ServiceRequest(
+                client="u", client_node="bad", interface="SvcI",
+                required_props=(("cached", True),),
+            )
+        )
+        # The relay cannot land on the uncertified node, even though it is
+        # the client's own machine: it deploys next door instead.
+        assert plan.components[0].node == "good"
+
+    def test_unknown_domain_rejected(self, key_store):
+        engine, network, guard, app = make_world(key_store, ["n0"], [])
+        network.add_node("foreign", domain="X")  # no guard for X
+        network.add_link("n0", "foreign")
+        registrar = Registrar()
+        registrar.register_component(component("Origin", ["SvcI"], deployable=False))
+        registrar.register_component(component("Svc", ["SvcI"]))
+        planner = Planner(registrar, network, {"D": guard}, existing=[])
+        plan = planner.plan(
+            ServiceRequest(client="u", client_node="foreign", interface="SvcI")
+        )
+        # Deployment lands in the governed domain only.
+        assert plan.components[0].node == "n0"

@@ -1,0 +1,85 @@
+"""Service-level tests: credentials select QoS tiers (§2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AuthorizationError
+from repro.psf.qos import QosPolicy, ServiceLevel
+
+GOLD = ServiceLevel(name="gold", privacy=True, min_bandwidth_bps=50e6)
+SILVER = ServiceLevel(name="silver", privacy=True)
+BRONZE = ServiceLevel(name="bronze")
+
+
+@pytest.fixture()
+def policy():
+    return (
+        QosPolicy("mail")
+        .offer("Comp.NY.Member", GOLD)
+        .offer("Comp.NY.Partner", SILVER)
+        .offer("others", BRONZE)
+    )
+
+
+class TestResolution:
+    def test_member_gets_gold(self, engine, policy):
+        engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        assert policy.resolve("Alice", engine) is GOLD
+
+    def test_partner_gets_silver(self, engine, policy):
+        engine.identity("Comp.SD")
+        engine.delegate("Comp.NY", "Comp.SD", "Comp.NY.Partner", assignment=True)
+        engine.delegate("Comp.SD", "Inc.SE.Member", "Comp.NY.Partner")
+        engine.delegate("Inc.SE", "Charlie", "Inc.SE.Member")
+        assert policy.resolve("Charlie", engine) is SILVER
+
+    def test_stranger_gets_floor(self, engine, policy):
+        assert policy.resolve("Nobody", engine) is BRONZE
+
+    def test_no_floor_returns_none(self, engine):
+        strict = QosPolicy("x").offer("Comp.NY.Member", GOLD)
+        assert strict.resolve("Nobody", engine) is None
+
+    def test_presented_credentials_considered(self, engine, policy):
+        engine.delegate("Comp.NY", "Comp.SD.Member", "Comp.NY.Member")
+        leaf = engine.delegate("Comp.SD", "Bob", "Comp.SD.Member", publish=False)
+        assert policy.resolve("Bob", engine, [leaf]) is GOLD
+
+    def test_rules_after_default_rejected(self):
+        policy = QosPolicy("x").offer("others", BRONZE)
+        with pytest.raises(ValueError):
+            policy.offer("Comp.NY.Member", GOLD)
+
+
+class TestRequestBuilding:
+    def test_request_carries_tier_qos(self, engine, policy):
+        engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        request = policy.request_for("Alice", "ny-pc1", "MailI", engine)
+        assert request.qos.privacy is True
+        assert request.qos.min_bandwidth_bps == 50e6
+
+    def test_unqualified_client_raises(self, engine):
+        strict = QosPolicy("x").offer("Comp.NY.Member", GOLD)
+        with pytest.raises(AuthorizationError):
+            strict.request_for("Nobody", "n", "MailI", engine)
+
+
+class TestScenarioIntegration:
+    def test_levels_drive_adaptation(self, shared_scenario):
+        """Gold members behind the WAN force the cache; bronze strangers
+        ride the plain direct link — QoS tiers choose deployments."""
+        engine = shared_scenario.engine
+        policy = (
+            QosPolicy("mail")
+            .offer("Comp.NY.Member", GOLD)
+            .offer("others", BRONZE)
+        )
+        gold_request = policy.request_for("Bob", "sd-pc1", "MailI", engine)
+        bronze_request = policy.request_for("Visitor", "sd-pc1", "MailI", engine)
+        planner = shared_scenario.psf.planner()
+        gold_plan = planner.plan(gold_request)
+        bronze_plan = planner.plan(bronze_request)
+        assert gold_plan.deployed_names() == ["ViewMailServer"]
+        assert bronze_plan.deployed_names() == []
+        assert bronze_plan.links[0].mode == "rmi"

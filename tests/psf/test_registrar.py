@@ -1,0 +1,80 @@
+"""Registrar tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PsfError
+from repro.psf.component import ComponentType, Port
+from repro.psf.registrar import Registrar
+from repro.views.acl import ViewAccessPolicy
+from repro.views.spec import ViewSpec
+
+
+def component(name="C", iface="I", props=None):
+    return ComponentType(name, implements=(Port(iface, props or {}),))
+
+
+class TestComponents:
+    def test_register_and_lookup(self):
+        registrar = Registrar()
+        c = registrar.register_component(component())
+        assert registrar.component("C") is c
+
+    def test_duplicate_rejected(self):
+        registrar = Registrar()
+        registrar.register_component(component())
+        with pytest.raises(PsfError):
+            registrar.register_component(component())
+
+    def test_unknown_component(self):
+        with pytest.raises(PsfError):
+            Registrar().component("ghost")
+
+    def test_providers_filter_by_properties(self):
+        registrar = Registrar()
+        registrar.register_component(component("Plain", "MailI"))
+        registrar.register_component(
+            component("Enc", "MailI", {"encrypted": True})
+        )
+        providers = registrar.providers_of("MailI", {"encrypted": True})
+        assert [c.name for c in providers] == ["Enc"]
+
+    def test_component_class_registration(self):
+        registrar = Registrar()
+
+        class Impl:
+            pass
+
+        registrar.register_component(component(), cls=Impl)
+        assert registrar.component_class("C") is Impl
+        assert registrar.component_class("missing") is None
+
+
+class TestViews:
+    def test_register_view_derives_component(self):
+        registrar = Registrar()
+        registrar.register_component(component("Base", "I"))
+        spec = ViewSpec(name="BaseView", represents="Base")
+        derived = registrar.register_view("Base", spec)
+        assert derived.is_view
+        assert registrar.view_spec("BaseView") is spec
+
+    def test_unknown_view_spec(self):
+        with pytest.raises(PsfError):
+            Registrar().view_spec("ghost")
+
+
+class TestPolicies:
+    def test_policy_requires_component(self):
+        registrar = Registrar()
+        with pytest.raises(PsfError):
+            registrar.set_policy("ghost", ViewAccessPolicy("ghost"))
+
+    def test_policy_roundtrip(self):
+        registrar = Registrar()
+        registrar.register_component(component())
+        policy = ViewAccessPolicy("C")
+        registrar.set_policy("C", policy)
+        assert registrar.policy("C") is policy
+        assert registrar.policy("other") is None

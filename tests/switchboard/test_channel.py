@@ -1,0 +1,263 @@
+"""Switchboard channel tests: handshake, confidentiality, replay,
+heartbeats, continuous authorization, and revalidation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.crypto import KeyStore
+from repro.drbac import DrbacEngine, EntityRef, Role
+from repro.errors import ChannelClosedError, HandshakeError
+from repro.net import EventScheduler, Network, Transport
+from repro.switchboard import (
+    AcceptAllAuthorizer,
+    AuthorizationSuite,
+    ChannelState,
+    RoleAuthorizer,
+    SwitchboardEndpoint,
+)
+
+
+class MailBoxService:
+    def __init__(self):
+        self.notes = []
+
+    def inbox(self):
+        return ["m1", "m2"]
+
+    def note(self, text):
+        self.notes.append(text)
+        return len(self.notes)
+
+
+@pytest.fixture()
+def world(key_store: KeyStore):
+    engine = DrbacEngine(key_store=key_store)
+    net = Network()
+    net.add_node("cnode")
+    net.add_node("snode")
+    net.add_link("cnode", "snode", latency_s=0.005, secure=False)
+    scheduler = EventScheduler()
+    transport = Transport(net, scheduler)
+    directory = lambda name: (
+        key_store.public(name) if name in key_store else None
+    )
+    client_ep = SwitchboardEndpoint(transport, "cnode", directory=directory)
+    server_ep = SwitchboardEndpoint(transport, "snode", directory=directory)
+    service = MailBoxService()
+    server_ep.export("mail", service)
+    return engine, transport, client_ep, server_ep, service
+
+
+def _suite(engine, name, credentials=(), authorizer=None):
+    return AuthorizationSuite(
+        identity=engine.identity(name),
+        credentials=list(credentials),
+        authorizer=authorizer or AcceptAllAuthorizer(),
+    )
+
+
+def _open_channel(engine, client_ep, server_ep, *, server_authorizer=None, client="Alice"):
+    cred = engine.delegate("Comp.NY", client, "Comp.NY.Member")
+    server_ep.listen(
+        "mail",
+        _suite(
+            engine,
+            "MailService",
+            authorizer=server_authorizer or RoleAuthorizer(engine, "Comp.NY.Member"),
+        ),
+    )
+    pending = client_ep.connect("snode", "mail", _suite(engine, client, [cred]))
+    return pending.wait(), cred
+
+
+class TestHandshake:
+    def test_successful_connect(self, world):
+        engine, _, client_ep, server_ep, _ = world
+        conn, _ = _open_channel(engine, client_ep, server_ep)
+        assert conn.state is ChannelState.OPEN
+        assert conn.peer_identity.name == "MailService"
+
+    def test_unknown_service_rejected(self, world):
+        engine, _, client_ep, server_ep, _ = world
+        pending = client_ep.connect("snode", "ghost", _suite(engine, "Alice"))
+        with pytest.raises(HandshakeError, match="no such service"):
+            pending.wait()
+
+    def test_unauthorized_client_rejected(self, world):
+        engine, _, client_ep, server_ep, _ = world
+        server_ep.listen(
+            "mail",
+            _suite(engine, "MailService", authorizer=RoleAuthorizer(engine, "Comp.NY.Member")),
+        )
+        pending = client_ep.connect("snode", "mail", _suite(engine, "Mallory"))
+        with pytest.raises(HandshakeError, match="failed to prove"):
+            pending.wait()
+
+    def test_identity_binding_mismatch_rejected(self, world, key_store):
+        engine, _, client_ep, server_ep, _ = world
+        server_ep.listen("mail", _suite(engine, "MailService"))
+        engine.identity("Alice")  # the real Alice exists in the PKI
+        # Mallory claims to be Alice but signs with her own key.
+        mallory = engine.identity("Mallory2")
+        fake = AuthorizationSuite(
+            identity=type(mallory)(name="Alice", private_key=mallory.private_key),
+        )
+        pending = client_ep.connect("snode", "mail", fake)
+        with pytest.raises(HandshakeError, match="binding mismatch"):
+            pending.wait()
+
+    def test_server_identity_verified_by_client(self, world):
+        engine, _, client_ep, server_ep, _ = world
+        engine.identity("MailService")  # the real service exists in the PKI
+        # Server claims to be "MailService" but uses Imposter's key.
+        imposter = engine.identity("Imposter")
+        server_ep.listen(
+            "mail",
+            AuthorizationSuite(
+                identity=type(imposter)(name="MailService", private_key=imposter.private_key)
+            ),
+        )
+        pending = client_ep.connect("snode", "mail", _suite(engine, "Alice"))
+        with pytest.raises(HandshakeError, match="binding mismatch"):
+            pending.wait()
+
+
+class TestCalls:
+    def test_round_trip(self, world):
+        engine, _, client_ep, server_ep, _ = world
+        conn, _ = _open_channel(engine, client_ep, server_ep)
+        assert conn.call_sync("mail", "inbox") == ["m1", "m2"]
+
+    def test_no_plaintext_on_wire(self, world):
+        engine, transport, client_ep, server_ep, _ = world
+        snoops = []
+        transport.observe_link("cnode", "snode", lambda p, s, d: snoops.append(p))
+        conn, _ = _open_channel(engine, client_ep, server_ep)
+        conn.call_sync("mail", "note", ["EXTREMELY_SECRET"])
+        assert not any(b"EXTREMELY_SECRET" in p for p in snoops)
+
+    def test_server_state_mutated(self, world):
+        engine, _, client_ep, server_ep, service = world
+        conn, _ = _open_channel(engine, client_ep, server_ep)
+        conn.call_sync("mail", "note", ["hello"])
+        assert service.notes == ["hello"]
+
+    def test_call_on_closed_channel(self, world):
+        engine, transport, client_ep, server_ep, _ = world
+        conn, _ = _open_channel(engine, client_ep, server_ep)
+        conn.close()
+        transport.scheduler.run()
+        with pytest.raises(ChannelClosedError):
+            conn.call("mail", "inbox")
+
+
+class TestReplayAndTamper:
+    def _capture_data_frames(self, transport):
+        frames = []
+        transport.observe_link("cnode", "snode", lambda p, s, d: frames.append((p, s, d)))
+        return frames
+
+    def test_replayed_frame_rejected(self, world):
+        engine, transport, client_ep, server_ep, service = world
+        frames = self._capture_data_frames(transport)
+        conn, _ = _open_channel(engine, client_ep, server_ep)
+        conn.call_sync("mail", "note", ["once"])
+        # Find the client->server data frame and replay it verbatim.
+        data_frames = [
+            p for (p, s, d) in frames
+            if s == "cnode" and json.loads(p.decode()).get("type") == "data"
+        ]
+        assert data_frames
+        replay = data_frames[-1]
+        server_conn = server_ep.connections()[0]
+        before = server_conn.stats.replays_rejected
+        transport.send("cnode", "snode", "switchboard", replay)
+        transport.scheduler.run()
+        assert server_conn.stats.replays_rejected == before + 1
+        assert service.notes == ["once"]  # not applied twice
+
+    def test_tampered_frame_rejected(self, world):
+        engine, transport, client_ep, server_ep, service = world
+        frames = self._capture_data_frames(transport)
+        conn, _ = _open_channel(engine, client_ep, server_ep)
+        conn.call_sync("mail", "note", ["real"])
+        data_frames = [
+            p for (p, s, d) in frames
+            if s == "cnode" and json.loads(p.decode()).get("type") == "data"
+        ]
+        outer = json.loads(data_frames[-1].decode())
+        outer["seq"] = outer["seq"] + 1000  # fresh seq, but MAC now fails
+        server_conn = server_ep.connections()[0]
+        before = server_conn.stats.tamper_rejected
+        transport.send(
+            "cnode", "snode", "switchboard", json.dumps(outer).encode()
+        )
+        transport.scheduler.run()
+        assert server_conn.stats.tamper_rejected == before + 1
+
+
+class TestHeartbeats:
+    def test_rtt_measured(self, world):
+        engine, transport, client_ep, server_ep, _ = world
+        conn, _ = _open_channel(engine, client_ep, server_ep)
+        conn.start_heartbeats(1.0)
+        transport.scheduler.run_until(3.5)
+        assert conn.last_rtt == pytest.approx(0.010, rel=0.2)
+        assert conn.stats.heartbeats_answered >= 2
+
+    def test_dead_after_missed_beats(self, world):
+        engine, transport, client_ep, server_ep, _ = world
+        conn, _ = _open_channel(engine, client_ep, server_ep)
+        conn.start_heartbeats(1.0, max_missed=3)
+        transport.network.link("cnode", "snode").up = False
+        # Sends now fail; run the clock forward and expect DEAD.
+        with pytest.raises(Exception):
+            transport.scheduler.run_until(10.0)
+
+
+class TestContinuousAuthorization:
+    def test_revocation_flips_both_ends(self, world):
+        engine, transport, client_ep, server_ep, _ = world
+        conn, cred = _open_channel(engine, client_ep, server_ep)
+        server_conn = server_ep.connections()[0]
+        notified = []
+        conn.on_trust_change(notified.append)
+        engine.revoke(cred)
+        transport.scheduler.run()
+        assert server_conn.state is ChannelState.REVOKED
+        assert conn.state is ChannelState.REVOKED
+        assert notified
+
+    def test_calls_blocked_after_revocation(self, world):
+        engine, transport, client_ep, server_ep, _ = world
+        conn, cred = _open_channel(engine, client_ep, server_ep)
+        engine.revoke(cred)
+        transport.scheduler.run()
+        with pytest.raises(ChannelClosedError, match="revalidation"):
+            conn.call("mail", "inbox")
+
+    def test_revalidation_restores_service(self, world):
+        engine, transport, client_ep, server_ep, service = world
+        conn, cred = _open_channel(engine, client_ep, server_ep)
+        engine.revoke(cred)
+        transport.scheduler.run()
+        assert conn.state is ChannelState.REVOKED
+        # Alice obtains a fresh credential and revalidates.
+        fresh = engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        pending = conn.revalidate([fresh])
+        assert pending.wait() is True
+        assert conn.state is ChannelState.OPEN
+        assert conn.call_sync("mail", "inbox") == ["m1", "m2"]
+
+    def test_revalidation_with_bad_credentials_fails(self, world):
+        engine, transport, client_ep, server_ep, _ = world
+        conn, cred = _open_channel(engine, client_ep, server_ep)
+        engine.revoke(cred)
+        transport.scheduler.run()
+        pending = conn.revalidate([])
+        with pytest.raises(Exception, match="failed to prove"):
+            pending.wait()
+        assert conn.state is ChannelState.REVOKED

@@ -1,0 +1,104 @@
+"""Channel expiry-watch tests: time-limited credentials on live channels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drbac import DrbacEngine
+from repro.errors import ChannelClosedError
+from repro.net import EventScheduler, Network, Transport
+from repro.switchboard import (
+    AuthorizationSuite,
+    ChannelState,
+    RoleAuthorizer,
+    SwitchboardEndpoint,
+)
+
+
+class Clockwork:
+    def tick(self):
+        return "tock"
+
+
+@pytest.fixture()
+def world(key_store):
+    net = Network()
+    net.add_node("c")
+    net.add_node("s")
+    net.add_link("c", "s", latency_s=0.001)
+    scheduler = EventScheduler()
+    transport = Transport(net, scheduler)
+    # The engine shares the scheduler as its clock so expiry follows
+    # virtual time.
+    engine = DrbacEngine(key_store=key_store, clock=scheduler)
+    client_ep = SwitchboardEndpoint(transport, "c")
+    server_ep = SwitchboardEndpoint(transport, "s")
+    server_ep.export("clock", Clockwork())
+    return engine, scheduler, transport, client_ep, server_ep
+
+
+def _connect(engine, client_ep, server_ep, *, expires_at):
+    cred = engine.delegate(
+        "Comp.NY", "Short", "Comp.NY.Member", expires_at=expires_at
+    )
+    server_ep.listen(
+        "clock",
+        AuthorizationSuite(
+            identity=engine.identity("ClockSvc"),
+            authorizer=RoleAuthorizer(engine, "Comp.NY.Member"),
+        ),
+    )
+    pending = client_ep.connect(
+        "s", "clock",
+        AuthorizationSuite(identity=engine.identity("Short"), credentials=[cred]),
+    )
+    return pending.wait()
+
+
+class TestExpiryWatch:
+    def test_channel_revokes_when_credential_lapses(self, world):
+        engine, scheduler, transport, client_ep, server_ep = world
+        connection = _connect(engine, client_ep, server_ep, expires_at=10.0)
+        server_conn = server_ep.connections()[0]
+        server_conn.watch_expiry(1.0)
+        assert connection.call_sync("clock", "tick") == "tock"
+        scheduler.run_until(15.0)
+        assert server_conn.state is ChannelState.REVOKED
+        assert connection.state is ChannelState.REVOKED
+
+    def test_channel_survives_until_expiry(self, world):
+        engine, scheduler, transport, client_ep, server_ep = world
+        connection = _connect(engine, client_ep, server_ep, expires_at=100.0)
+        server_conn = server_ep.connections()[0]
+        server_conn.watch_expiry(1.0)
+        scheduler.run_until(50.0)
+        assert server_conn.state is ChannelState.OPEN
+        assert connection.call_sync("clock", "tick") == "tock"
+
+    def test_calls_blocked_after_lapse(self, world):
+        engine, scheduler, transport, client_ep, server_ep = world
+        connection = _connect(engine, client_ep, server_ep, expires_at=5.0)
+        server_ep.connections()[0].watch_expiry(1.0)
+        scheduler.run_until(10.0)
+        with pytest.raises(ChannelClosedError):
+            connection.call("clock", "tick")
+
+    def test_revalidation_after_lapse(self, world):
+        engine, scheduler, transport, client_ep, server_ep = world
+        connection = _connect(engine, client_ep, server_ep, expires_at=5.0)
+        server_ep.connections()[0].watch_expiry(1.0)
+        scheduler.run_until(10.0)
+        fresh = engine.delegate("Comp.NY", "Short", "Comp.NY.Member")
+        assert connection.revalidate([fresh]).wait() is True
+        assert connection.call_sync("clock", "tick") == "tock"
+
+    def test_watch_self_cancels_after_revocation(self, world):
+        engine, scheduler, transport, client_ep, server_ep = world
+        connection = _connect(engine, client_ep, server_ep, expires_at=5.0)
+        server_conn = server_ep.connections()[0]
+        server_conn.watch_expiry(1.0)
+        scheduler.run_until(10.0)
+        # After the flip, the periodic check unregisters itself: the
+        # event queue drains instead of ticking forever.
+        scheduler.run()
+        assert server_conn.state is ChannelState.REVOKED

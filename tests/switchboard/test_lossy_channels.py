@@ -1,0 +1,86 @@
+"""Switchboard behaviour under injected link loss."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drbac import DrbacEngine
+from repro.net import EventScheduler, Network, Transport
+from repro.switchboard import (
+    AuthorizationSuite,
+    ChannelState,
+    SwitchboardEndpoint,
+)
+
+
+class Echo:
+    def ping(self):
+        return "pong"
+
+
+def make_world(key_store, loss_rate: float, *, seed: int = 5):
+    engine = DrbacEngine(key_store=key_store)
+    net = Network()
+    net.add_node("a")
+    net.add_node("b")
+    net.add_link("a", "b", latency_s=0.01, loss_rate=loss_rate)
+    scheduler = EventScheduler()
+    transport = Transport(net, scheduler, loss_seed=seed)
+    ep_a = SwitchboardEndpoint(transport, "a")
+    ep_b = SwitchboardEndpoint(transport, "b")
+    ep_b.export("echo", Echo())
+    ep_b.listen("echo", AuthorizationSuite(identity=engine.identity("Svc")))
+    return engine, scheduler, transport, ep_a, ep_b
+
+
+class TestLiveness:
+    def test_heartbeats_detect_black_hole(self, key_store):
+        """A link that starts eating every frame flips the channel DEAD
+        within the missed-beat budget — the liveness monitoring §4.3
+        promises."""
+        engine, scheduler, transport, ep_a, ep_b = make_world(key_store, 0.0)
+        connection = ep_a.connect(
+            "b", "echo", AuthorizationSuite(identity=engine.identity("User"))
+        ).wait()
+        connection.start_heartbeats(1.0, max_missed=3)
+        scheduler.run_until(2.5)
+        assert connection.state is ChannelState.OPEN
+        transport.network.link("a", "b").loss_rate = 1.0
+        scheduler.run_until(10.0)
+        assert connection.state is ChannelState.DEAD
+
+    def test_occasional_loss_tolerated(self, key_store):
+        """Mild loss delays pongs but stays within the missed budget."""
+        engine, scheduler, transport, ep_a, ep_b = make_world(key_store, 0.0)
+        connection = ep_a.connect(
+            "b", "echo", AuthorizationSuite(identity=engine.identity("User"))
+        ).wait()
+        transport.network.link("a", "b").loss_rate = 0.2
+        connection.start_heartbeats(1.0, max_missed=5)
+        scheduler.run_until(20.0)
+        assert connection.state is ChannelState.OPEN
+        assert connection.stats.heartbeats_answered >= 10
+
+    def test_dead_channel_rejects_calls(self, key_store):
+        engine, scheduler, transport, ep_a, ep_b = make_world(key_store, 0.0)
+        connection = ep_a.connect(
+            "b", "echo", AuthorizationSuite(identity=engine.identity("User"))
+        ).wait()
+        connection.start_heartbeats(0.5, max_missed=2)
+        transport.network.link("a", "b").loss_rate = 1.0
+        scheduler.run_until(5.0)
+        from repro.errors import ChannelClosedError
+
+        with pytest.raises(ChannelClosedError):
+            connection.call("echo", "ping")
+
+
+class TestHandshakeUnderLoss:
+    def test_handshake_fails_cleanly_on_black_hole(self, key_store):
+        engine, scheduler, transport, ep_a, ep_b = make_world(key_store, 1.0)
+        pending = ep_a.connect(
+            "b", "echo", AuthorizationSuite(identity=engine.identity("User"))
+        )
+        scheduler.run()
+        assert not pending.done  # the HELLO never arrived; no crash, no channel
+        assert ep_b.connections() == []

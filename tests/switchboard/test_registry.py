@@ -1,0 +1,38 @@
+"""Naming registry tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SwitchboardError
+from repro.switchboard.registry import NamingRegistry, ServiceAddress
+
+
+class TestNaming:
+    def test_bind_lookup(self):
+        registry = NamingRegistry()
+        address = ServiceAddress(node="n1", service="svc", target="obj")
+        registry.bind("mail", address)
+        assert registry.lookup("mail") == address
+
+    def test_missing_binding(self):
+        with pytest.raises(SwitchboardError):
+            NamingRegistry().lookup("ghost")
+
+    def test_rebind_replaces(self):
+        registry = NamingRegistry()
+        registry.bind("x", ServiceAddress("n1", "s", "t"))
+        registry.bind("x", ServiceAddress("n2", "s", "t"))
+        assert registry.lookup("x").node == "n2"
+
+    def test_unbind(self):
+        registry = NamingRegistry()
+        registry.bind("x", ServiceAddress("n1", "s", "t"))
+        registry.unbind("x")
+        assert "x" not in registry
+
+    def test_names_sorted(self):
+        registry = NamingRegistry()
+        registry.bind("b", ServiceAddress("n", "s", "t"))
+        registry.bind("a", ServiceAddress("n", "s", "t"))
+        assert registry.names() == ["a", "b"]

@@ -1,0 +1,162 @@
+"""SwitchboardStream tests: ordered sealed byte transport."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.drbac import DrbacEngine
+from repro.net import EventScheduler, Network, Transport
+from repro.switchboard import (
+    AuthorizationSuite,
+    RoleAuthorizer,
+    SwitchboardEndpoint,
+)
+
+
+@pytest.fixture()
+def channel_pair(key_store):
+    engine = DrbacEngine(key_store=key_store)
+    net = Network()
+    net.add_node("a")
+    net.add_node("b")
+    net.add_link("a", "b", latency_s=0.002, secure=False)
+    scheduler = EventScheduler()
+    transport = Transport(net, scheduler)
+    ep_a = SwitchboardEndpoint(transport, "a")
+    ep_b = SwitchboardEndpoint(transport, "b")
+    ep_b.listen("svc", AuthorizationSuite(identity=engine.identity("Svc")))
+    client = ep_a.connect(
+        "b", "svc", AuthorizationSuite(identity=engine.identity("User"))
+    ).wait()
+    server = ep_b.connections()[0]
+    return engine, transport, client, server
+
+
+class TestTransfer:
+    def test_one_shot_send(self, channel_pair):
+        engine, transport, client, server = channel_pair
+        stream_id = client.streams.send_bytes(b"hello stream world")
+        transport.scheduler.run()
+        incoming = server.streams.incoming(stream_id)
+        assert incoming.read_all() == b"hello stream world"
+        assert incoming.complete
+
+    def test_chunking(self, channel_pair):
+        engine, transport, client, server = channel_pair
+        payload = bytes(range(256)) * 100  # 25,600 bytes
+        stream = client.streams.open(chunk_size=1024)
+        stream.write(payload)
+        stream.close()
+        transport.scheduler.run()
+        incoming = server.streams.incoming(stream.stream_id)
+        assert incoming.read_all() == payload
+        assert incoming.stats.chunks == 25
+
+    def test_multiple_writes_preserve_order(self, channel_pair):
+        engine, transport, client, server = channel_pair
+        stream = client.streams.open()
+        for part in (b"one ", b"two ", b"three"):
+            stream.write(part)
+        stream.close()
+        transport.scheduler.run()
+        assert server.streams.incoming(stream.stream_id).read_all() == b"one two three"
+
+    def test_bidirectional_streams(self, channel_pair):
+        engine, transport, client, server = channel_pair
+        up = client.streams.send_bytes(b"up")
+        down = server.streams.send_bytes(b"down")
+        transport.scheduler.run()
+        assert server.streams.incoming(up).read_all() == b"up"
+        assert client.streams.incoming(down).read_all() == b"down"
+
+    def test_incremental_read(self, channel_pair):
+        engine, transport, client, server = channel_pair
+        stream_id = client.streams.send_bytes(b"abcdefgh")
+        transport.scheduler.run()
+        incoming = server.streams.incoming(stream_id)
+        assert incoming.read(3) == b"abc"
+        assert incoming.read(3) == b"def"
+        assert incoming.read() == b"gh"
+        assert incoming.read() == b""
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        # Streams have unique ids, so reusing the channel across examples
+        # is exactly the production pattern, not cross-test leakage.
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(payload=st.binary(min_size=0, max_size=8192))
+    def test_arbitrary_payload_roundtrip(self, channel_pair, payload):
+        engine, transport, client, server = channel_pair
+        stream = client.streams.open(chunk_size=512)
+        stream.write(payload)
+        stream.close()
+        transport.scheduler.run()
+        assert server.streams.incoming(stream.stream_id).read_all() == payload
+
+
+class TestCallbacks:
+    def test_on_data_and_eof(self, channel_pair):
+        engine, transport, client, server = channel_pair
+        events = []
+        server.streams.on_open(
+            lambda s: (s.on_data(lambda c: events.append(("data", c))),
+                       s.on_eof(lambda: events.append(("eof",))))
+        )
+        client.streams.send_bytes(b"ping")
+        transport.scheduler.run()
+        assert ("data", b"ping") in events
+        assert ("eof",) in events
+
+    def test_late_on_data_replays_buffer(self, channel_pair):
+        engine, transport, client, server = channel_pair
+        stream_id = client.streams.send_bytes(b"early")
+        transport.scheduler.run()
+        seen = []
+        server.streams.incoming(stream_id).on_data(seen.append)
+        assert seen == [b"early"]
+
+
+class TestSecurity:
+    def test_stream_contents_sealed_on_wire(self, channel_pair):
+        engine, transport, client, server = channel_pair
+        snoops = []
+        transport.observe_link("a", "b", lambda p, s, d: snoops.append(p))
+        client.streams.send_bytes(b"CLASSIFIED-STREAM-PAYLOAD")
+        transport.scheduler.run()
+        import base64
+
+        marker = base64.b64encode(b"CLASSIFIED-STREAM-PAYLOAD")
+        assert snoops
+        assert not any(b"CLASSIFIED" in p or marker in p for p in snoops)
+
+    def test_revocation_aborts_live_streams(self, channel_pair):
+        engine, transport, client, server = channel_pair
+        # Re-establish with a revocable authorization.
+        cred = engine.delegate("Comp.NY", "User2", "Comp.NY.Member")
+        server.endpoint.listen(
+            "svc2",
+            AuthorizationSuite(
+                identity=engine.identity("Svc"),
+                authorizer=RoleAuthorizer(engine, "Comp.NY.Member"),
+            ),
+        )
+        conn = client.endpoint.connect(
+            "b", "svc2",
+            AuthorizationSuite(identity=engine.identity("User2"), credentials=[cred]),
+        ).wait()
+        server_conn = [c for c in server.endpoint.connections() if c is not server][0]
+        stream = conn.streams.open()
+        stream.write(b"part1")
+        transport.scheduler.run()
+        engine.revoke(cred)
+        transport.scheduler.run()
+        incoming = server_conn.streams.incoming(stream.stream_id)
+        assert incoming.stats.aborted
+        from repro.errors import ChannelClosedError
+
+        with pytest.raises(ChannelClosedError):
+            stream.write(b"part2")

@@ -1,0 +1,45 @@
+"""Clock abstraction tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import Clock, ManualClock, SystemClock
+
+
+class TestManualClock:
+    def test_starts_at_origin(self):
+        assert ManualClock().now() == 0.0
+        assert ManualClock(start=5.0).now() == 5.0
+
+    def test_advance(self):
+        clock = ManualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_backwards_rejected(self):
+        clock = ManualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        clock.advance(10)
+        with pytest.raises(ValueError):
+            clock.set(5)
+
+    def test_set_forward(self):
+        clock = ManualClock()
+        clock.set(7.0)
+        assert clock.now() == 7.0
+
+    def test_satisfies_protocol(self):
+        assert isinstance(ManualClock(), Clock)
+
+
+class TestSystemClock:
+    def test_monotonic_nonnegative(self):
+        clock = SystemClock()
+        first = clock.now()
+        second = clock.now()
+        assert 0 <= first <= second
+
+    def test_satisfies_protocol(self):
+        assert isinstance(SystemClock(), Clock)

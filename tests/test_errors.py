@@ -1,0 +1,53 @@
+"""Exception-hierarchy tests: one base type at the framework boundary."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    AuthorizationError,
+    ChannelClosedError,
+    CredentialError,
+    DrbacError,
+    HandshakeError,
+    ReproError,
+    SignatureError,
+    SwitchboardError,
+    ViewGenerationError,
+    ViewError,
+)
+
+ALL_ERRORS = [
+    obj
+    for _, obj in inspect.getmembers(errors_module, inspect.isclass)
+    if issubclass(obj, Exception) and obj.__module__ == "repro.errors"
+]
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for cls in ALL_ERRORS:
+            assert issubclass(cls, ReproError), cls
+
+    def test_specific_families(self):
+        assert issubclass(SignatureError, ReproError)
+        assert issubclass(CredentialError, DrbacError)
+        assert issubclass(AuthorizationError, DrbacError)
+        assert issubclass(HandshakeError, SwitchboardError)
+        assert issubclass(ChannelClosedError, SwitchboardError)
+        assert issubclass(ViewGenerationError, ViewError)
+
+    def test_catchable_at_boundary(self):
+        with pytest.raises(ReproError):
+            raise ViewGenerationError("boom")
+
+    def test_every_error_documented(self):
+        for cls in ALL_ERRORS:
+            assert cls.__doc__, f"{cls.__name__} needs a docstring"
+
+    def test_hierarchy_is_wide(self):
+        # The library promises a rich, specific failure vocabulary.
+        assert len(ALL_ERRORS) >= 18

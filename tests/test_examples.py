@@ -1,0 +1,62 @@
+"""Example-freshness tests: every shipped example must run cleanly.
+
+Each example is executed in a subprocess so import-time and runtime
+breakage in any public API surfaces here before a user hits it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["cross-domain proof", "customized policy enforced"],
+    "mail_scenario.py": [
+        "(17)",
+        "ViewMailClient_Partner",
+        "meeting-requested",
+        "revoked",
+    ],
+    "adaptive_deployment.py": [
+        "deploy ViewMailServer",
+        "deploy Decryptor",
+        "plaintext leaks: 0",
+    ],
+    "revocation_monitoring.py": [
+        "trust changed",
+        "revalidated: True",
+        "approved:2026-07",
+    ],
+    "future_work.py": [
+        "mirrored 1 native grant",
+        "still valid? False",
+        "getPhone denied per-method",
+    ],
+}
+
+
+def test_every_example_has_expectations():
+    assert set(EXAMPLES) == set(EXPECTED_MARKERS), (
+        "add expected output markers for new examples"
+    )
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in EXPECTED_MARKERS[example]:
+        assert marker in result.stdout, (
+            f"{example}: expected {marker!r} in output;\n{result.stdout[-2000:]}"
+        )

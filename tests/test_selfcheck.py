@@ -1,0 +1,26 @@
+"""Self-check entry-point tests (``python -m repro``)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+from repro.__main__ import run_selfcheck
+
+
+class TestSelfCheck:
+    def test_all_checks_pass_in_process(self, capsys):
+        assert run_selfcheck(key_bits=512) == 0
+        out = capsys.readouterr().out
+        assert "ALL CHECKS PASSED" in out
+        assert "FAIL" not in out.replace("FAILED", "")
+
+    def test_module_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert result.returncode == 0, result.stderr[-1500:]
+        assert "ALL CHECKS PASSED" in result.stdout

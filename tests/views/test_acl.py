@@ -1,0 +1,75 @@
+"""Role -> view access policy tests (Table 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drbac.model import Role
+from repro.views.acl import ViewAccessPolicy
+
+
+@pytest.fixture()
+def policy():
+    return (
+        ViewAccessPolicy("MailClient")
+        .allow("Comp.NY.Member", "ViewMailClient_Member")
+        .allow("Comp.NY.Partner", "ViewMailClient_Partner")
+        .allow("others", "ViewMailClient_Anonymous")
+    )
+
+
+class TestResolution:
+    def test_member_gets_member_view(self, engine, policy):
+        engine.delegate("Comp.NY", "Alice", "Comp.NY.Member")
+        decision = policy.resolve("Alice", engine)
+        assert decision.view_name == "ViewMailClient_Member"
+        assert decision.proof is not None
+
+    def test_cross_domain_member(self, engine, policy):
+        engine.delegate("Comp.NY", "Comp.SD.Member", "Comp.NY.Member")
+        engine.delegate("Comp.SD", "Bob", "Comp.SD.Member")
+        decision = policy.resolve("Bob", engine)
+        assert decision.view_name == "ViewMailClient_Member"
+        assert len(decision.proof.chain) == 2
+
+    def test_partner_via_third_party(self, engine, policy):
+        engine.identity("Comp.SD")
+        engine.delegate("Comp.NY", "Comp.SD", "Comp.NY.Partner", assignment=True)
+        engine.delegate("Comp.SD", "Inc.SE.Member", "Comp.NY.Partner")
+        engine.delegate("Inc.SE", "Charlie", "Inc.SE.Member")
+        decision = policy.resolve("Charlie", engine)
+        assert decision.view_name == "ViewMailClient_Partner"
+
+    def test_anonymous_default(self, engine, policy):
+        decision = policy.resolve("Stranger", engine)
+        assert decision.view_name == "ViewMailClient_Anonymous"
+        assert decision.proof is None
+        assert decision.rule.is_default
+
+    def test_rule_order_first_provable_wins(self, engine, policy):
+        # Someone who is both Member and Partner gets the Member view
+        # because that rule comes first.
+        engine.delegate("Comp.NY", "Dora", "Comp.NY.Member")
+        engine.delegate("Comp.NY", "Dora", "Comp.NY.Partner")
+        assert policy.resolve("Dora", engine).view_name == "ViewMailClient_Member"
+
+    def test_no_default_returns_none(self, engine):
+        strict = ViewAccessPolicy("X").allow("Comp.NY.Member", "V")
+        assert strict.resolve("Stranger", engine) is None
+
+    def test_presented_credentials_merge_with_repository(self, engine, policy):
+        engine.delegate("Comp.NY", "Comp.SD.Member", "Comp.NY.Member")
+        leaf = engine.delegate("Comp.SD", "Eve", "Comp.SD.Member", publish=False)
+        decision = policy.resolve("Eve", engine, credentials=[leaf])
+        assert decision.view_name == "ViewMailClient_Member"
+
+
+class TestConstruction:
+    def test_rules_after_default_rejected(self):
+        policy = ViewAccessPolicy("X").allow("others", "Anon")
+        with pytest.raises(ValueError):
+            policy.allow("Comp.NY.Member", "V")
+
+    def test_role_objects_accepted(self):
+        policy = ViewAccessPolicy("X").allow(Role("A", "R"), "V")
+        assert policy.rules()[0].role == Role("A", "R")

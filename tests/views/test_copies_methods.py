@@ -1,0 +1,82 @@
+"""<Copies_Methods> tests: copying existing methods outside interfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ViewGenerationError, ViewSpecError
+from repro.views import InterfaceRegistry, Vig, ViewRuntime, ViewSpec
+
+
+class Journal:
+    def __init__(self):
+        self.entries = []
+
+    def record(self, line):
+        self.entries.append(line)
+        return len(self.entries)
+
+    def latest(self):
+        return self.entries[-1] if self.entries else None
+
+    def purge(self):
+        self.entries = []
+
+
+XML = """
+<View name="RecorderView">
+  <Represents name="Journal"/>
+  <Copies_Methods>
+    <MName>record</MName>
+    <MName>latest</MName>
+  </Copies_Methods>
+</View>
+"""
+
+
+class TestSpecParsing:
+    def test_copies_parsed(self):
+        spec = ViewSpec.from_xml(XML)
+        assert spec.copied_methods == ("record", "latest")
+
+    def test_roundtrip(self):
+        spec = ViewSpec.from_xml(XML)
+        assert ViewSpec.from_xml(spec.to_xml()).copied_methods == ("record", "latest")
+
+    def test_bad_element(self):
+        with pytest.raises(ViewSpecError, match="MName"):
+            ViewSpec.from_xml(
+                '<View name="V"><Represents name="X"/>'
+                "<Copies_Methods><Bogus/></Copies_Methods></View>"
+            )
+
+    def test_bad_identifier(self):
+        with pytest.raises(ViewSpecError, match="identifier"):
+            ViewSpec.from_xml(
+                '<View name="V"><Represents name="X"/>'
+                "<Copies_Methods><MName>not a name</MName></Copies_Methods></View>"
+            )
+
+
+class TestGeneration:
+    def test_copied_methods_work_with_coherence(self):
+        vig = Vig(InterfaceRegistry())
+        view_cls = vig.generate(ViewSpec.from_xml(XML), Journal)
+        origin = Journal()
+        view = view_cls(ViewRuntime(local_objects={"Journal": origin}))
+        assert view.record("first") == 1
+        assert origin.entries == ["first"]  # coherence pushed
+        assert view.latest() == "first"
+
+    def test_uncopied_methods_absent(self):
+        vig = Vig(InterfaceRegistry())
+        view_cls = vig.generate(ViewSpec.from_xml(XML), Journal)
+        assert not hasattr(view_cls, "purge")
+
+    def test_unknown_copied_method_rejected(self):
+        vig = Vig(InterfaceRegistry())
+        spec = ViewSpec(
+            name="Bad", represents="Journal", copied_methods=("vanish",)
+        )
+        with pytest.raises(ViewGenerationError, match="not defined"):
+            vig.generate(spec, Journal)

@@ -1,0 +1,80 @@
+"""Interface definition tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.views.interfaces import (
+    InterfaceDef,
+    InterfaceRegistry,
+    MethodSig,
+    interface_from_class,
+)
+
+
+class SampleI:
+    def greet(self, name):
+        ...
+
+    def farewell(self):
+        ...
+
+    def _private(self):
+        ...
+
+
+class TestDerivation:
+    def test_public_methods_captured(self):
+        iface = interface_from_class(SampleI)
+        assert iface.method_names() == ("farewell", "greet")
+
+    def test_private_methods_skipped(self):
+        iface = interface_from_class(SampleI)
+        assert "_private" not in iface
+
+    def test_params_without_self(self):
+        iface = interface_from_class(SampleI)
+        assert iface.method("greet").params == ("name",)
+
+    def test_custom_name(self):
+        assert interface_from_class(SampleI, name="Renamed").name == "Renamed"
+
+    def test_inherited_methods_excluded(self):
+        class Child(SampleI):
+            def extra(self):
+                ...
+
+        assert interface_from_class(Child).method_names() == ("extra",)
+
+
+class TestInterfaceDef:
+    def test_contains(self):
+        iface = InterfaceDef("I", (MethodSig("m", ("x",)),))
+        assert "m" in iface and "q" not in iface
+
+    def test_method_lookup_missing(self):
+        iface = InterfaceDef("I", ())
+        with pytest.raises(KeyError):
+            iface.method("ghost")
+
+    def test_str(self):
+        assert str(InterfaceDef("AddressI")) == "AddressI"
+        assert str(MethodSig("getPhone", ("name",))) == "getPhone(name)"
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = InterfaceRegistry()
+        iface = registry.register_class(SampleI)
+        assert registry.get("SampleI") is iface
+        assert "SampleI" in registry
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            InterfaceRegistry().get("Nope")
+
+    def test_names_sorted(self):
+        registry = InterfaceRegistry()
+        registry.register(InterfaceDef("B"))
+        registry.register(InterfaceDef("A"))
+        assert registry.names() == ["A", "B"]

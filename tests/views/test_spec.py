@@ -1,0 +1,203 @@
+"""View specification tests: the Table 3(b) XML language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ViewSpecError
+from repro.views.spec import (
+    FieldSpec,
+    InterfaceMode,
+    InterfaceRestriction,
+    MethodSpec,
+    ViewSpec,
+    parse_signature,
+)
+
+TABLE_3B = """
+<View name="ViewMailClient_Partner">
+  <Represents name="MailClient"/>
+  <Restricts>
+    <Interface name="MessageI" type="local"/>
+    <Interface name="NotesI" type="rmi"/>
+    <Interface name="AddressI" type="switchboard"/>
+  </Restricts>
+  <Adds_Fields>
+    <Field name="accountCopy" type="Account"/>
+  </Adds_Fields>
+  <Adds_Methods>
+    <MSign>void mergeImageIntoView(byte[] image)</MSign>
+    <MBody>pass</MBody>
+    <MSign>void mergeImageIntoObj(byte[] image)</MSign>
+    <MBody>pass</MBody>
+    <MSign>byte[] extractImageFromView()</MSign>
+    <MBody>return {}</MBody>
+    <MSign>byte[] extractImageFromObj()</MSign>
+    <MBody>return {}</MBody>
+  </Adds_Methods>
+  <Customizes_Methods>
+    <MSign>boolean addMeeting(String name)</MSign>
+    <MBody>return "requested"</MBody>
+  </Customizes_Methods>
+</View>
+"""
+
+
+class TestSignatureParsing:
+    def test_plain(self):
+        assert parse_signature("addMeeting(name)") == ("addMeeting", ("name",))
+
+    def test_java_style_types_stripped(self):
+        assert parse_signature("boolean addMeeting(String name)") == (
+            "addMeeting",
+            ("name",),
+        )
+
+    def test_java_array_types(self):
+        assert parse_signature("void merge(byte[] image)") == ("merge", ("image",))
+
+    def test_no_params(self):
+        assert parse_signature("extractImageFromView()") == ("extractImageFromView", ())
+
+    def test_multiple_params(self):
+        assert parse_signature("f(int a, int b)") == ("f", ("a", "b"))
+
+    @pytest.mark.parametrize("bad", ["noparens", "f(", "(x)", "1f(x)", "f(2x)"])
+    def test_malformed(self, bad):
+        with pytest.raises(ViewSpecError):
+            parse_signature(bad)
+
+
+class TestXmlParsing:
+    def test_table_3b_parses(self):
+        spec = ViewSpec.from_xml(TABLE_3B)
+        assert spec.name == "ViewMailClient_Partner"
+        assert spec.represents == "MailClient"
+        modes = {r.name: r.mode for r in spec.interfaces}
+        assert modes == {
+            "MessageI": InterfaceMode.LOCAL,
+            "NotesI": InterfaceMode.RMI,
+            "AddressI": InterfaceMode.SWITCHBOARD,
+        }
+        assert spec.added_fields == (FieldSpec(name="accountCopy", type_name="Account"),)
+        assert {m.name for m in spec.added_methods} == {
+            "mergeImageIntoView",
+            "mergeImageIntoObj",
+            "extractImageFromView",
+            "extractImageFromObj",
+        }
+        assert spec.customized_methods[0].name == "addMeeting"
+
+    def test_switch_alias(self):
+        assert InterfaceMode.parse("switch") is InterfaceMode.SWITCHBOARD
+
+    def test_unknown_mode(self):
+        with pytest.raises(ViewSpecError):
+            InterfaceMode.parse("telnet")
+
+    def test_missing_represents(self):
+        with pytest.raises(ViewSpecError, match="Represents"):
+            ViewSpec.from_xml('<View name="V"><Restricts/></View>')
+
+    def test_missing_name(self):
+        with pytest.raises(ViewSpecError, match="name"):
+            ViewSpec.from_xml('<View><Represents name="X"/></View>')
+
+    def test_unknown_element(self):
+        with pytest.raises(ViewSpecError, match="unknown element"):
+            ViewSpec.from_xml(
+                '<View name="V"><Represents name="X"/><Bogus/></View>'
+            )
+
+    def test_msign_without_mbody(self):
+        with pytest.raises(ViewSpecError, match="no matching"):
+            ViewSpec.from_xml(
+                '<View name="V"><Represents name="X"/>'
+                "<Adds_Methods><MSign>f()</MSign></Adds_Methods></View>"
+            )
+
+    def test_mbody_without_msign(self):
+        with pytest.raises(ViewSpecError, match="without a preceding"):
+            ViewSpec.from_xml(
+                '<View name="V"><Represents name="X"/>'
+                "<Adds_Methods><MBody>pass</MBody></Adds_Methods></View>"
+            )
+
+    def test_nested_method_element_supported(self):
+        spec = ViewSpec.from_xml(
+            '<View name="V"><Represents name="X"/>'
+            "<Adds_Methods><Method><MSign>f()</MSign><MBody>pass</MBody></Method>"
+            "</Adds_Methods></View>"
+        )
+        assert spec.added_methods[0].name == "f"
+
+    def test_unparseable_xml(self):
+        with pytest.raises(ViewSpecError, match="unparseable"):
+            ViewSpec.from_xml("<View")
+
+    def test_constructor_lifted_from_view_named_method(self):
+        spec = ViewSpec.from_xml(
+            '<View name="V"><Represents name="X"/>'
+            "<Adds_Methods><MSign>V(args)</MSign><MBody>self.ready = True</MBody>"
+            "</Adds_Methods></View>"
+        )
+        assert spec.constructor_body == "self.ready = True"
+        assert not spec.added_methods
+
+    def test_replicates_fields(self):
+        spec = ViewSpec.from_xml(
+            '<View name="V"><Represents name="X"/>'
+            '<Replicates_Fields><Field name="inbox"/></Replicates_Fields></View>'
+        )
+        assert spec.replicated_fields == ("inbox",)
+
+
+class TestValidation:
+    def test_duplicate_interface_rejected(self):
+        with pytest.raises(ViewSpecError, match="twice"):
+            ViewSpec(
+                name="V",
+                represents="X",
+                interfaces=(
+                    InterfaceRestriction("I", InterfaceMode.LOCAL),
+                    InterfaceRestriction("I", InterfaceMode.RMI),
+                ),
+            )
+
+    def test_duplicate_method_rejected(self):
+        with pytest.raises(ViewSpecError, match="more than once"):
+            ViewSpec(
+                name="V",
+                represents="X",
+                added_methods=(MethodSpec("f", (), "pass"),),
+                customized_methods=(MethodSpec("f", (), "pass"),),
+            )
+
+    def test_invalid_view_name(self):
+        with pytest.raises(ViewSpecError):
+            ViewSpec(name="bad name", represents="X")
+
+    def test_coherence_detection(self):
+        spec = ViewSpec.from_xml(TABLE_3B)
+        assert spec.provides_coherence_methods()
+
+
+class TestRoundtrip:
+    def test_to_xml_from_xml_stable(self):
+        spec = ViewSpec.from_xml(TABLE_3B)
+        again = ViewSpec.from_xml(spec.to_xml())
+        assert again.name == spec.name
+        assert again.interfaces == spec.interfaces
+        assert {m.name for m in again.added_methods} == {
+            m.name for m in spec.added_methods
+        }
+
+    def test_digest_stable(self):
+        a = ViewSpec.from_xml(TABLE_3B)
+        b = ViewSpec.from_xml(TABLE_3B)
+        assert a.digest() == b.digest()
+
+    def test_digest_changes_with_content(self):
+        a = ViewSpec.from_xml(TABLE_3B)
+        b = ViewSpec(name="Other", represents="MailClient")
+        assert a.digest() != b.digest()

@@ -1,0 +1,83 @@
+"""Property test: arbitrary well-formed view specs survive XML round-trips."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.views.spec import (
+    FieldSpec,
+    InterfaceMode,
+    InterfaceRestriction,
+    MethodSpec,
+    ViewSpec,
+)
+
+identifier = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,12}", fullmatch=True)
+
+
+@st.composite
+def view_specs(draw):
+    name = draw(identifier)
+    represents = draw(identifier)
+    iface_names = draw(
+        st.lists(identifier, max_size=4, unique=True)
+    )
+    interfaces = tuple(
+        InterfaceRestriction(
+            name=iface,
+            mode=draw(st.sampled_from(list(InterfaceMode))),
+            binding=draw(st.sampled_from(["", iface])),
+        )
+        for iface in iface_names
+    )
+    field_names = draw(st.lists(identifier, max_size=3, unique=True))
+    added_fields = tuple(FieldSpec(name=f) for f in field_names)
+    method_names = draw(
+        st.lists(identifier, max_size=3, unique=True).filter(
+            lambda names: not set(names) & set(field_names) and name not in names
+        )
+    )
+    added_methods = tuple(
+        MethodSpec(
+            name=m,
+            params=tuple(draw(st.lists(identifier, max_size=2, unique=True))),
+            body="return 1",
+        )
+        for m in method_names
+    )
+    copied = tuple(
+        draw(
+            st.lists(identifier, max_size=2, unique=True).filter(
+                lambda names: not set(names) & set(method_names)
+            )
+        )
+    )
+    return ViewSpec(
+        name=name,
+        represents=represents,
+        interfaces=interfaces,
+        added_fields=added_fields,
+        copied_methods=copied,
+        added_methods=added_methods,
+    )
+
+
+class TestXmlRoundtrip:
+    @settings(max_examples=80, deadline=None)
+    @given(spec=view_specs())
+    def test_roundtrip_preserves_structure(self, spec):
+        restored = ViewSpec.from_xml(spec.to_xml())
+        assert restored.name == spec.name
+        assert restored.represents == spec.represents
+        assert restored.interfaces == spec.interfaces
+        assert restored.added_fields == spec.added_fields
+        assert restored.copied_methods == spec.copied_methods
+        assert [(m.name, m.params) for m in restored.added_methods] == [
+            (m.name, m.params) for m in spec.added_methods
+        ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec=view_specs())
+    def test_digest_is_roundtrip_stable(self, spec):
+        assert ViewSpec.from_xml(spec.to_xml()).digest() == spec.digest()
