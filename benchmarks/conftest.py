@@ -5,16 +5,36 @@ crypto costs are representative; set the key store once per session.
 Every experiment prints its paper-shaped table to stdout (run with
 ``pytest benchmarks/ --benchmark-only -s`` to see them); EXPERIMENTS.md
 records the measured numbers.
+
+Each benchmark also snapshots the :mod:`repro.obs` metrics registry into
+``benchmark.extra_info["obs"]``, so a ``--benchmark-json=BENCH_*.json``
+run records internal counters (proof edges visited, frames sent, plan
+backtracks, ...) next to the wall-clock numbers.  Set ``REPRO_OBS=0`` to
+measure the zero-cost disabled mode instead.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.crypto import KeyStore
 from repro.mail import build_scenario
 
 BENCH_KEY_BITS = 1024
+
+
+@pytest.fixture(autouse=True)
+def obs_snapshot(request):
+    """Reset metrics per benchmark; attach the snapshot to its results."""
+    obs.reset()
+    yield
+    benchmark = request.node.funcargs.get("benchmark")
+    if benchmark is None:
+        return
+    snapshot = obs.snapshot()
+    if any(snapshot.values()):
+        benchmark.extra_info["obs"] = snapshot
 
 
 @pytest.fixture(scope="session")

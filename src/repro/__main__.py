@@ -1,19 +1,30 @@
-"""Self-check entry point: ``python -m repro``.
+"""Command-line entry points: ``python -m repro [stats]``.
 
-Builds the paper's three-site scenario end to end and verifies the core
-behavioural battery — Table 2 authorizations, Table 4 view resolution,
-VIG generation of the Table 5 view, QoS adaptation planning, and a live
-revocation — printing one PASS/FAIL line per check.  Exit status is
-non-zero when any check fails, so the command doubles as a smoke test
-for packaging and new environments.
+The default (no arguments) is the self-check: it builds the paper's
+three-site scenario end to end and verifies the core behavioural battery
+— Table 2 authorizations, Table 4 view resolution, VIG generation of the
+Table 5 view, QoS adaptation planning, and a live revocation — printing
+one PASS/FAIL line per check.  Exit status is non-zero when any check
+fails, so the command doubles as a smoke test for packaging and new
+environments.
+
+``python -m repro stats [--json]`` exercises the same scenario under the
+:mod:`repro.obs` observability layer — proof searches in both directions,
+cached authorization, a plan/deploy cycle over a Switchboard channel, and
+mail traffic through the deployed view — then dumps the metrics registry
+as a formatted table (or JSON).
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 
+from . import obs
+from .drbac.cache import CachedAuthorizer
 from .drbac.model import Role
+from .errors import AuthorizationError
 from .mail import MailClient, build_scenario
 from .psf import EdgeRequirement, ServiceRequest
 
@@ -114,11 +125,98 @@ def run_selfcheck(*, key_bits: int = 512, verbose: bool = True) -> int:
     return failures
 
 
+def exercise_scenario(*, key_bits: int = 512):
+    """Drive the mail scenario across every instrumented subsystem.
+
+    Used by ``repro stats`` and the observability tests: after this runs,
+    the active registry holds non-zero proof-search, cache, channel,
+    planning, deployment, and coherence metrics.
+    """
+    scenario = build_scenario(key_bits=key_bits)
+    engine = scenario.engine
+
+    # Proof search, both directions, plus a failing search.
+    engine.find_proof("Alice", "Comp.NY.Member")
+    engine.find_proof("Bob", "Comp.NY.Member", direction="progression")
+    engine.find_proof("Charlie", "Comp.NY.Partner")
+    engine.find_proof("Nobody", "Comp.NY.Member")
+
+    # Cached authorization: one miss, repeated hits.
+    cache = CachedAuthorizer(engine)
+    for _ in range(3):
+        cache.authorize("Alice", "Comp.NY.Member")
+    try:
+        engine.authorize("Nobody", "Comp.NY.Member")
+    except AuthorizationError:
+        pass
+
+    # Plan + deploy #1: privacy over the insecure WAN forces a Switchboard
+    # channel to the existing server; traffic exercises RPC latency.
+    plan = scenario.psf.planner().plan(
+        ServiceRequest(
+            client="Bob",
+            client_node="sd-pc1",
+            interface="MailI",
+            qos=EdgeRequirement(privacy=True),
+        )
+    )
+    deployment = scenario.psf.deployer.deploy(plan)
+    access = deployment.client_access()
+    access.sendMail(
+        {"sender": "Bob", "recipient": "Alice", "subject": "obs", "body": "stats"}
+    )
+    access.fetchMail("Alice")
+
+    # Plan + deploy #2: a bandwidth demand the WAN cannot carry pulls a
+    # ViewMailServer cache next to the client — VIG instantiation plus
+    # image-coherence traffic on every call through the view.
+    cache_plan = scenario.psf.planner().plan(
+        ServiceRequest(
+            client="Bob",
+            client_node="sd-pc1",
+            interface="MailI",
+            qos=EdgeRequirement(min_bandwidth_bps=50e6),
+        )
+    )
+    cache_deployment = scenario.psf.deployer.deploy(cache_plan)
+    cached_access = cache_deployment.client_access()
+    cached_access.fetchMail("Alice")
+    return scenario, deployment
+
+
+def run_stats(argv: list[str] | None = None) -> int:
+    """The ``repro stats`` subcommand."""
+    argv = argv or []
+    unknown = [a for a in argv if a not in ("--json", "--full-keys")]
+    if unknown:
+        print(f"repro stats: unknown argument {unknown[0]!r}", file=sys.stderr)
+        print("usage: python -m repro stats [--json] [--full-keys]", file=sys.stderr)
+        return 2
+    as_json = "--json" in argv
+    key_bits = 1024 if "--full-keys" in argv else 512
+    obs.enable()
+    obs.reset()
+    exercise_scenario(key_bits=key_bits)
+    snap = obs.snapshot()
+    if as_json:
+        print(json.dumps(snap, indent=2, sort_keys=True))
+    else:
+        print("repro stats: mail-scenario metrics snapshot")
+        print(obs.format_snapshot(snap))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "stats":
+        return run_stats(argv[1:])
     key_bits = 512
     if argv and argv[0] == "--full-keys":
         key_bits = 1024
+    elif argv:
+        print(f"repro: unknown command {argv[0]!r}", file=sys.stderr)
+        print("usage: python -m repro [--full-keys] | stats [--json] [--full-keys]", file=sys.stderr)
+        return 2
     print("repro self-check: Using Views for Customizing Reusable Components (HPDC 2003)")
     return 1 if run_selfcheck(key_bits=key_bits) else 0
 

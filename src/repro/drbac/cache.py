@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from .. import obs
+from ..obs import names as metric_names
 from .delegation import Delegation
 from .engine import AuthorizationResult, DrbacEngine
 from .model import Attributes, Role, Subject, subject_key
@@ -71,12 +73,17 @@ class CachedAuthorizer:
         if cached is not None:
             if cached.valid and cached.monitor.check_expiry(self.engine.clock.now()):
                 self.stats.hits += 1
+                obs.counter(metric_names.CACHE_HITS).inc()
                 return cached
             # Revoked or lapsed: drop it and fall through to a fresh search.
             cached.close()
             del self._cache[key]
             self.stats.invalidated += 1
+            obs.counter(metric_names.CACHE_INVALIDATED).inc()
+            # Keep the gauge honest even if the fresh search below raises.
+            obs.gauge(metric_names.CACHE_ENTRIES).set(len(self._cache))
         self.stats.misses += 1
+        obs.counter(metric_names.CACHE_MISSES).inc()
         result = self.engine.authorize(
             subject, role, credentials, required_attributes=required_attributes
         )
@@ -85,6 +92,7 @@ class CachedAuthorizer:
             oldest = next(iter(self._cache))
             self._cache.pop(oldest).close()
         self._cache[key] = result
+        obs.gauge(metric_names.CACHE_ENTRIES).set(len(self._cache))
         return result
 
     def is_authorized(
@@ -109,6 +117,7 @@ class CachedAuthorizer:
         for result in self._cache.values():
             result.close()
         self._cache.clear()
+        obs.gauge(metric_names.CACHE_ENTRIES).set(0)
 
     def __len__(self) -> int:
         return len(self._cache)

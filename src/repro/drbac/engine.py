@@ -19,9 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from .. import obs
 from ..clock import Clock, ManualClock
 from ..crypto.keys import Identity, KeyStore, PublicIdentity
 from ..errors import AuthorizationError
+from ..obs import names as metric_names
 from .delegation import Delegation, issue
 from .model import Attributes, EntityRef, Role, Subject
 from .monitor import ProofMonitor, RevocationDirectory
@@ -180,6 +182,7 @@ class DrbacEngine:
             subject, role, credentials, required_attributes=required_attributes
         )
         if proof is None:
+            obs.counter(metric_names.AUTHORIZE_DENIED).inc()
             raise AuthorizationError(
                 f"no proof that {subject} holds {role}"
                 + (
@@ -188,6 +191,7 @@ class DrbacEngine:
                     else ""
                 )
             )
+        obs.counter(metric_names.AUTHORIZE_GRANTED).inc()
         monitor = ProofMonitor(proof.all_delegations(), self.revocations)
         return AuthorizationResult(proof=proof, monitor=monitor)
 

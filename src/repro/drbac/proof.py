@@ -30,7 +30,9 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Iterable, Literal, Optional
 
+from .. import obs
 from ..crypto.keys import PublicIdentity
+from ..obs import names as metric_names
 from .delegation import Delegation, DelegationType
 from .model import (
     Attributes,
@@ -118,6 +120,47 @@ class ProofEngine:
         attenuated attributes cover the requirement (e.g. a node that must
         be ``Secure={true}`` with ``Trust`` at least ``(5,10)``).
         """
+        if not obs.is_enabled():
+            # Single-check fast path: searches are the hottest obs site,
+            # and even null-span setup costs ~2% on small graphs.
+            return self._find_proof(
+                subject,
+                role,
+                credentials,
+                required_attributes=required_attributes,
+                direction=direction,
+            )
+        with obs.span("drbac.proof.search", role=str(role), direction=direction):
+            proof = self._find_proof(
+                subject,
+                role,
+                credentials,
+                required_attributes=required_attributes,
+                direction=direction,
+            )
+        obs.counter(metric_names.PROOF_SEARCHES).inc()
+        obs.counter(
+            metric_names.PROOF_SEARCHES_REGRESSION
+            if direction == "regression"
+            else metric_names.PROOF_SEARCHES_PROGRESSION
+        ).inc()
+        obs.histogram(metric_names.PROOF_EDGES_VISITED).observe(self.edges_visited)
+        if proof is None:
+            obs.counter(metric_names.PROOF_NOT_FOUND).inc()
+        else:
+            obs.counter(metric_names.PROOF_FOUND).inc()
+            obs.histogram(metric_names.PROOF_CHAIN_LENGTH).observe(len(proof.chain))
+        return proof
+
+    def _find_proof(
+        self,
+        subject: Subject,
+        role: Role,
+        credentials: Iterable[Delegation],
+        *,
+        required_attributes: Attributes | None,
+        direction: SearchDirection,
+    ) -> Optional[Proof]:
         valid = [c for c in credentials if self._usable(c)]
         index = _CredentialIndex(valid)
         self.edges_visited = 0

@@ -78,6 +78,11 @@ class ReplayError(SwitchboardError):
     """A message with a stale or repeated sequence number arrived."""
 
 
+class RpcAbortedError(SwitchboardError):
+    """An in-flight remote call was aborted because its channel was torn
+    down (closed, died, or lost its link) before the result arrived."""
+
+
 class PsfError(ReproError):
     """Base class for Partitionable Services Framework failures."""
 

@@ -1,0 +1,295 @@
+"""Process-local metrics: counters, gauges, and fixed-bucket histograms.
+
+The paper's evaluation (Tables 1–5) is entirely quantitative — delegation
+creation cost, proof-search latency, VIG compilation time, SSO overhead —
+so the reproduction instruments its own hot paths.  A
+:class:`MetricsRegistry` owns every metric created under it; instruments
+are cheap enough to leave on (an attribute bump per event), and the
+``Null*`` twins make the disabled mode cost one no-op method call.
+
+Metrics are process-local and single-threaded by design: the whole
+simulation runs on one discrete-event loop, so there is no locking.
+Snapshots are plain JSON-compatible dicts, ready for ``repro stats`` and
+for the benchmark harness to embed next to wall-clock results.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+# Default histogram buckets: geometric upper bounds covering microseconds
+# to minutes of latency *and* small discrete counts (chain lengths, edges
+# visited).  Individual metrics may override via the names catalogue.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 25.0, 50.0, 100.0,
+)
+
+COUNT_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536,
+)
+"""Bucket layout for discrete-count histograms (edges, goals, depths)."""
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (live channels, cache entries)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantile summaries.
+
+    Buckets are cumulative-style upper bounds plus an implicit +inf
+    overflow bucket.  Quantiles are estimated by linear interpolation
+    inside the bucket containing the target rank — the standard
+    fixed-bucket estimator, accurate to bucket width.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] | None = None) -> None:
+        bounds = tuple(float(b) for b in (buckets or DEFAULT_BUCKETS))
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram {name} buckets must be strictly increasing")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for the +inf overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1); NaN when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for i, bound in enumerate(self.buckets):
+            in_bucket = self.counts[i]
+            if cumulative + in_bucket >= rank and in_bucket > 0:
+                # Interpolate within [lower, bound], clamped to observed range.
+                fraction = (rank - cumulative) / in_bucket
+                estimate = lower + fraction * (bound - lower)
+                return min(max(estimate, self.min), self.max)
+            cumulative += in_bucket
+            lower = bound
+        return self.max  # rank falls in the overflow bucket
+
+    def summary(self) -> dict:
+        """JSON-compatible digest: count, sum, min/max, p50/p95/p99."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.sum / self.count,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class NullCounter:
+    """No-op counter: the disabled-mode stand-in."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class NullGauge:
+    __slots__ = ()
+    name = "<null>"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class NullHistogram:
+    __slots__ = ()
+    name = "<null>"
+    count = 0
+    sum = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return math.nan
+
+    def summary(self) -> dict:
+        return {"count": 0, "sum": 0.0}
+
+
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()
+
+
+class MetricsRegistry:
+    """Owns every metric created under one observation scope.
+
+    Metric creation is idempotent per name; asking for an existing name
+    with a *different* metric kind raises — the guard the test-time
+    self-check leans on to catch typo'd or conflicting metric names.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- creation / lookup -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_unclaimed(name, "counter")
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_unclaimed(name, "gauge")
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, buckets: Sequence[float] | None = None) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_unclaimed(name, "histogram")
+            metric = self._histograms[name] = Histogram(name, buckets)
+        return metric
+
+    def _check_unclaimed(self, name: str, kind: str) -> None:
+        for other_kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}, "
+                    f"cannot re-register as a {kind}"
+                )
+
+    # -- introspection -----------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    def kinds(self) -> dict[str, str]:
+        out = {name: "counter" for name in self._counters}
+        out.update({name: "gauge" for name in self._gauges})
+        out.update({name: "histogram" for name in self._histograms})
+        return out
+
+    def counter_value(self, name: str) -> int:
+        metric = self._counters.get(name)
+        return metric.value if metric is not None else 0
+
+    def snapshot(self) -> dict:
+        """JSON-compatible dump of every live metric."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (tests and benchmark iterations)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled-mode registry: hands out shared no-op instruments.
+
+    Creation records nothing and lookups allocate nothing, so an
+    un-instrumented (observability-off) run pays one method call per
+    instrumentation site and holds no state.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return NULL_COUNTER  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return NULL_GAUGE  # type: ignore[return-value]
+
+    def histogram(self, name: str, buckets: Iterable[float] | None = None) -> Histogram:  # type: ignore[override]
+        return NULL_HISTOGRAM  # type: ignore[return-value]
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,146 @@
+"""Canonical catalogue of every instrumented metric name.
+
+Instrumented modules import these constants instead of spelling string
+literals, and the test-time self-check (``tests/test_selfcheck.py``)
+asserts that (a) the catalogue has no duplicate or kind-conflicting
+entries and (b) every metric that shows up live after exercising the
+scenario is catalogued — so a typo'd name fails tests instead of silently
+splitting a counter in two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .metrics import COUNT_BUCKETS
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSpec:
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    help: str
+    buckets: tuple[float, ...] | None = None
+
+
+# -- dRBAC proof search (drbac/proof.py, drbac/engine.py, drbac/cache.py) --
+
+PROOF_SEARCHES = "drbac.proof.searches"
+PROOF_SEARCHES_REGRESSION = "drbac.proof.searches.regression"
+PROOF_SEARCHES_PROGRESSION = "drbac.proof.searches.progression"
+PROOF_FOUND = "drbac.proof.found"
+PROOF_NOT_FOUND = "drbac.proof.not_found"
+PROOF_CHAIN_LENGTH = "drbac.proof.chain_length"
+PROOF_EDGES_VISITED = "drbac.proof.edges_visited"
+AUTHORIZE_GRANTED = "drbac.authorize.granted"
+AUTHORIZE_DENIED = "drbac.authorize.denied"
+CACHE_HITS = "drbac.cache.hits"
+CACHE_MISSES = "drbac.cache.misses"
+CACHE_INVALIDATED = "drbac.cache.invalidated"
+CACHE_ENTRIES = "drbac.cache.entries"
+
+# -- Switchboard channel lifecycle (switchboard/channel.py, rpc.py) --------
+
+SWB_HANDSHAKES_INITIATED = "switchboard.handshakes.initiated"
+SWB_HANDSHAKES_ACCEPTED = "switchboard.handshakes.accepted"
+SWB_HANDSHAKES_REJECTED = "switchboard.handshakes.rejected"
+SWB_CHANNELS_OPENED = "switchboard.channels.opened"
+SWB_CHANNELS_CLOSED = "switchboard.channels.closed"
+SWB_CHANNELS_REVOKED = "switchboard.channels.revoked"
+SWB_CHANNELS_DEAD = "switchboard.channels.dead"
+SWB_CHANNELS_LIVE = "switchboard.channels.live"
+SWB_FRAMES_SENT = "switchboard.frames.sent"
+SWB_FRAMES_RECEIVED = "switchboard.frames.received"
+SWB_BYTES_SENT = "switchboard.bytes.sent"
+SWB_BYTES_RECEIVED = "switchboard.bytes.received"
+SWB_REPLAYS_REJECTED = "switchboard.replays.rejected"
+SWB_TAMPER_REJECTED = "switchboard.tamper.rejected"
+SWB_RPC_CALLS = "switchboard.rpc.calls"
+SWB_RPC_FAILURES = "switchboard.rpc.failures"
+SWB_RPC_LATENCY = "switchboard.rpc.latency"
+
+# -- PSF planning and deployment (psf/planner.py, psf/deployment.py) -------
+
+PLAN_ATTEMPTS = "psf.plan.attempts"
+PLAN_SUCCESS = "psf.plan.success"
+PLAN_FAILURES = "psf.plan.failures"
+PLAN_GOALS_EXPANDED = "psf.plan.goals_expanded"
+PLAN_CANDIDATES = "psf.plan.candidates_examined"
+PLAN_BACKTRACKS = "psf.plan.backtracks"
+DEPLOY_DEPLOYMENTS = "psf.deploy.deployments"
+DEPLOY_INSTANCES = "psf.deploy.instances"
+DEPLOY_CREDENTIALS = "psf.deploy.credentials_issued"
+DEPLOY_DURATION = "psf.deploy.duration"
+
+# -- View coherence (views/coherence.py) -----------------------------------
+
+COHERENCE_ACQUIRES = "views.coherence.acquires"
+COHERENCE_RELEASES = "views.coherence.releases"
+COHERENCE_IMAGES_PULLED = "views.coherence.images_pulled"
+COHERENCE_IMAGES_PUSHED = "views.coherence.images_pushed"
+
+
+CATALOGUE: tuple[MetricSpec, ...] = (
+    MetricSpec(PROOF_SEARCHES, "counter", "proof searches started"),
+    MetricSpec(PROOF_SEARCHES_REGRESSION, "counter", "searches using regression"),
+    MetricSpec(PROOF_SEARCHES_PROGRESSION, "counter", "searches using progression"),
+    MetricSpec(PROOF_FOUND, "counter", "searches that produced a proof"),
+    MetricSpec(PROOF_NOT_FOUND, "counter", "searches that found no proof"),
+    MetricSpec(PROOF_CHAIN_LENGTH, "histogram",
+               "membership-chain length of successful proofs", COUNT_BUCKETS),
+    MetricSpec(PROOF_EDGES_VISITED, "histogram",
+               "credential edges inspected per search", COUNT_BUCKETS),
+    MetricSpec(AUTHORIZE_GRANTED, "counter", "authorize() calls that granted"),
+    MetricSpec(AUTHORIZE_DENIED, "counter", "authorize() calls that raised"),
+    MetricSpec(CACHE_HITS, "counter", "authorization cache hits"),
+    MetricSpec(CACHE_MISSES, "counter", "authorization cache misses"),
+    MetricSpec(CACHE_INVALIDATED, "counter",
+               "cached proofs dropped after revocation or expiry"),
+    MetricSpec(CACHE_ENTRIES, "gauge", "live authorization cache entries"),
+    MetricSpec(SWB_HANDSHAKES_INITIATED, "counter", "handshakes dialed"),
+    MetricSpec(SWB_HANDSHAKES_ACCEPTED, "counter", "handshakes accepted (responder)"),
+    MetricSpec(SWB_HANDSHAKES_REJECTED, "counter", "handshakes rejected (responder)"),
+    MetricSpec(SWB_CHANNELS_OPENED, "counter", "channel ends opened"),
+    MetricSpec(SWB_CHANNELS_CLOSED, "counter", "channel ends closed"),
+    MetricSpec(SWB_CHANNELS_REVOKED, "counter", "channel ends flipped to REVOKED"),
+    MetricSpec(SWB_CHANNELS_DEAD, "counter", "channel ends declared DEAD"),
+    MetricSpec(SWB_CHANNELS_LIVE, "gauge", "currently live channel ends"),
+    MetricSpec(SWB_FRAMES_SENT, "counter", "encrypted frames sent"),
+    MetricSpec(SWB_FRAMES_RECEIVED, "counter", "encrypted frames accepted"),
+    MetricSpec(SWB_BYTES_SENT, "counter", "ciphertext bytes sent"),
+    MetricSpec(SWB_BYTES_RECEIVED, "counter", "ciphertext bytes accepted"),
+    MetricSpec(SWB_REPLAYS_REJECTED, "counter", "frames dropped by sequence check"),
+    MetricSpec(SWB_TAMPER_REJECTED, "counter", "frames dropped by MAC failure"),
+    MetricSpec(SWB_RPC_CALLS, "counter", "remote calls issued over channels"),
+    MetricSpec(SWB_RPC_FAILURES, "counter",
+               "remote calls that failed or were aborted by teardown"),
+    MetricSpec(SWB_RPC_LATENCY, "histogram",
+               "virtual-time latency of completed channel RPCs"),
+    MetricSpec(PLAN_ATTEMPTS, "counter", "planning requests"),
+    MetricSpec(PLAN_SUCCESS, "counter", "planning requests that found a plan"),
+    MetricSpec(PLAN_FAILURES, "counter", "planning requests that raised"),
+    MetricSpec(PLAN_GOALS_EXPANDED, "histogram",
+               "goals expanded per planning request", COUNT_BUCKETS),
+    MetricSpec(PLAN_CANDIDATES, "histogram",
+               "provider candidates examined per planning request", COUNT_BUCKETS),
+    MetricSpec(PLAN_BACKTRACKS, "histogram",
+               "tentative placements undone per planning request", COUNT_BUCKETS),
+    MetricSpec(DEPLOY_DEPLOYMENTS, "counter", "plans deployed"),
+    MetricSpec(DEPLOY_INSTANCES, "counter", "component instances created"),
+    MetricSpec(DEPLOY_CREDENTIALS, "counter", "instance credentials issued"),
+    MetricSpec(DEPLOY_DURATION, "histogram", "wall seconds per deployment"),
+    MetricSpec(COHERENCE_ACQUIRES, "counter", "outermost image acquires"),
+    MetricSpec(COHERENCE_RELEASES, "counter", "outermost image releases"),
+    MetricSpec(COHERENCE_IMAGES_PULLED, "counter", "images merged into views"),
+    MetricSpec(COHERENCE_IMAGES_PUSHED, "counter", "images merged into originals"),
+)
+
+
+def catalogue_by_name() -> dict[str, MetricSpec]:
+    """Name → spec; raises if the catalogue itself carries duplicates."""
+    out: dict[str, MetricSpec] = {}
+    for spec in CATALOGUE:
+        if spec.name in out:
+            raise ValueError(f"metric {spec.name!r} catalogued twice")
+        out[spec.name] = spec
+    return out

@@ -1,0 +1,176 @@
+"""Trace spans: nested, named timing scopes over any :class:`repro.clock.Clock`.
+
+A :class:`Tracer` hands out :class:`Span` context managers; entering a
+span pushes it on the tracer's stack so spans opened inside it become its
+children (proof searches nested under a deployment, image pulls nested
+under an RPC).  Durations come from the tracer's clock — wall time by
+default, but passing the simulation's :class:`~repro.net.events.
+EventScheduler` (or a :class:`~repro.clock.ManualClock`) makes spans
+measure *virtual* time, which is what deterministic experiments want.
+
+The :data:`NULL_TRACER` twin turns every ``span()`` into a shared no-op
+context manager so disabled runs pay one call per site.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Optional
+
+from ..clock import Clock
+
+
+class PerfClock:
+    """Monotonic wall clock (the default tracer time source)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class Span:
+    """One named timing scope, usable as a context manager."""
+
+    __slots__ = (
+        "name", "attributes", "start", "end",
+        "parent", "children", "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.start: float = 0.0
+        self.end: Optional[float] = None
+        self.parent: Optional[Span] = None
+        self.children: list[Span] = []
+        self._tracer = tracer
+
+    @property
+    def duration(self) -> float:
+        """Elapsed clock time; measured up to *now* while still open."""
+        end = self.end if self.end is not None else self._tracer.clock.now()
+        return end - self.start
+
+    @property
+    def depth(self) -> int:
+        depth, node = 0, self.parent
+        while node is not None:
+            depth, node = depth + 1, node.parent
+        return depth
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes after the span is open."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._exit(self)
+
+    def __repr__(self) -> str:
+        state = f"{self.duration:.6f}s" if self.end is not None else "open"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class Tracer:
+    """Produces nested spans and retains the most recent finished ones.
+
+    Retention is bounded (``max_spans``) so long-lived processes do not
+    grow without limit; only *root* spans count against the bound, and a
+    root carries its whole subtree.
+    """
+
+    def __init__(self, clock: Clock | None = None, *, max_spans: int = 4096) -> None:
+        self.clock: Clock = clock if clock is not None else PerfClock()
+        self.finished: deque[Span] = deque(maxlen=max_spans)
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """A new span; use ``with tracer.span("psf.deploy"):``."""
+        return Span(self, name, attributes)
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def roots(self) -> list[Span]:
+        """Finished top-level spans, oldest first."""
+        return list(self.finished)
+
+    def find(self, name: str) -> list[Span]:
+        """Every retained span (at any depth) with the given name."""
+        out: list[Span] = []
+
+        def walk(span: Span) -> None:
+            if span.name == name:
+                out.append(span)
+            for child in span.children:
+                walk(child)
+
+        for root in self.finished:
+            walk(root)
+        return out
+
+    def reset(self) -> None:
+        self.finished.clear()
+        self._stack.clear()
+
+    # -- span lifecycle (driven by Span.__enter__/__exit__) ---------------
+
+    def _enter(self, span: Span) -> None:
+        span.start = self.clock.now()
+        parent = self._stack[-1] if self._stack else None
+        span.parent = parent
+        if parent is not None:
+            parent.children.append(span)
+        self._stack.append(span)
+
+    def _exit(self, span: Span) -> None:
+        span.end = self.clock.now()
+        # Pop through abandoned children defensively: a span leaked by an
+        # exception between enter and exit must not corrupt the stack.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if span.parent is None:
+            self.finished.append(span)
+
+
+class NullSpan:
+    """Shared no-op span for disabled tracing."""
+
+    __slots__ = ()
+    name = "<null>"
+    attributes: dict = {}
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    children: list = []
+    parent = None
+
+    def set(self, **attributes: Any) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+class NullTracer(Tracer):
+    """Disabled-mode tracer: every span is the shared :class:`NullSpan`."""
+
+    def __init__(self) -> None:
+        super().__init__(PerfClock(), max_spans=1)
+
+    def span(self, name: str, **attributes: Any) -> Span:  # type: ignore[override]
+        return NULL_SPAN  # type: ignore[return-value]
+
+
+NULL_SPAN = NullSpan()
+NULL_TRACER = NullTracer()

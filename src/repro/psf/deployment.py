@@ -22,10 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from .. import obs
 from ..drbac.delegation import Delegation
 from ..drbac.engine import DrbacEngine
 from ..drbac.model import EntityRef
 from ..errors import DeploymentError
+from ..obs import names as metric_names
 from ..net.simnet import Network
 from ..net.transport import Transport
 from ..switchboard.authorizer import AcceptAllAuthorizer, AuthorizationSuite
@@ -234,14 +236,19 @@ class Deployer:
 
     def deploy(self, plan: DeploymentPlan) -> Deployment:
         """Instantiate, credential, export, and wire a plan."""
-        deployment = Deployment(plan, self)
-        # Providers appear after their consumers in plan order (regression
-        # appends depth-first), so instantiate in reverse.
-        for planned in reversed(plan.components):
-            instance = self._instantiate(planned, deployment)
-            deployment.instances[planned.instance_id] = instance
-            self._export(instance, deployment)
-        self.deploy_count += 1
+        with obs.span("psf.deploy", components=len(plan.components)) as sp:
+            deployment = Deployment(plan, self)
+            # Providers appear after their consumers in plan order (regression
+            # appends depth-first), so instantiate in reverse.
+            for planned in reversed(plan.components):
+                instance = self._instantiate(planned, deployment)
+                deployment.instances[planned.instance_id] = instance
+                self._export(instance, deployment)
+            self.deploy_count += 1
+        if obs.is_enabled():
+            obs.counter(metric_names.DEPLOY_DEPLOYMENTS).inc()
+            obs.counter(metric_names.DEPLOY_INSTANCES).inc(len(deployment.instances))
+            obs.histogram(metric_names.DEPLOY_DURATION).observe(sp.duration)
         return deployment
 
     # -- steps ----------------------------------------------------------------------------
@@ -285,6 +292,7 @@ class Deployer:
                     role,
                 )
             )
+        obs.counter(metric_names.DEPLOY_CREDENTIALS).inc(len(credentials))
         return credentials
 
     def _instantiate_view(

@@ -35,9 +35,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .. import obs
 from ..errors import PlanningError
 from ..net.simnet import Network
 from ..errors import NetworkError
+from ..obs import names as metric_names
 from .component import ComponentType, Port
 from .guard import Guard
 from .registrar import Registrar
@@ -165,6 +167,7 @@ class _SearchState:
     links: list[PlannedLink] = field(default_factory=list)
     goals_expanded: int = 0
     candidates_examined: int = 0
+    backtracks: int = 0
 
 
 class Planner:
@@ -200,6 +203,21 @@ class Planner:
         feasible one — the Sekitei-flavoured quality/speed trade-off
         ablated by ``benchmarks/bench_planner_quality.py``.
         """
+        obs.counter(metric_names.PLAN_ATTEMPTS).inc()
+        with obs.span(
+            "psf.plan", interface=request.interface, optimize=optimize
+        ):
+            try:
+                found = self._plan(request, optimize=optimize)
+            except PlanningError:
+                obs.counter(metric_names.PLAN_FAILURES).inc()
+                raise
+        obs.counter(metric_names.PLAN_SUCCESS).inc()
+        return found
+
+    def _plan(
+        self, request: ServiceRequest, *, optimize: bool
+    ) -> DeploymentPlan:
         if optimize:
             candidates = self.enumerate_plans(request)
             if not candidates:
@@ -219,6 +237,10 @@ class Planner:
             depth=0,
             stack=frozenset(),
         )
+        if obs.is_enabled():
+            obs.histogram(metric_names.PLAN_GOALS_EXPANDED).observe(state.goals_expanded)
+            obs.histogram(metric_names.PLAN_CANDIDATES).observe(state.candidates_examined)
+            obs.histogram(metric_names.PLAN_BACKTRACKS).observe(state.backtracks)
         if entry is None:
             raise PlanningError(
                 f"no deployment delivers {request.interface} at "
@@ -515,6 +537,7 @@ class Planner:
                         break
                 if satisfied:
                     return instance_id
+                state.backtracks += 1
                 del state.components[checkpoint_c:]
                 del state.links[checkpoint_l:]
         return None

@@ -30,10 +30,12 @@ import secrets
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from .. import obs
 from ..crypto.cipher import AuthenticatedCipher
 from ..crypto.dh import DiffieHellman
 from ..crypto.keys import PublicIdentity
 from ..drbac.delegation import Delegation
+from ..obs import names as metric_names
 from ..drbac.wire import (
     delegation_from_wire,
     delegation_to_wire,
@@ -44,6 +46,7 @@ from ..errors import (
     ChannelClosedError,
     CipherError,
     HandshakeError,
+    RpcAbortedError,
     SwitchboardError,
 )
 from ..net.transport import Transport
@@ -117,6 +120,9 @@ class SwitchboardConnection:
 
         self.streams = StreamManager(self)
         self._last_pong_at: float = endpoint.transport.scheduler.now()
+        self._live_counted = True
+        obs.counter(metric_names.SWB_CHANNELS_OPENED).inc()
+        obs.gauge(metric_names.SWB_CHANNELS_LIVE).inc()
         monitor.on_change(self._on_trust_change)
 
     # -- calls -------------------------------------------------------------
@@ -130,12 +136,15 @@ class SwitchboardConnection:
         """
         self._require_open()
         call_id = next(_call_ids)
+        scheduler = self.endpoint.transport.scheduler
         pending = PendingCall(
             call_id=call_id,
             method=method,
-            _scheduler=self.endpoint.transport.scheduler,
+            started_at=scheduler.now(),
+            _scheduler=scheduler,
         )
         self._pending[call_id] = pending
+        obs.counter(metric_names.SWB_RPC_CALLS).inc()
         self._send(
             {
                 "kind": "call",
@@ -263,6 +272,9 @@ class SwitchboardConnection:
         ad = self._associated_data(sender_is_initiator=self.is_initiator, seq=seq)
         frame = self.cipher.encrypt(encode_frame(inner), ad)
         self.stats.frames_sent += 1
+        if obs.is_enabled():
+            obs.counter(metric_names.SWB_FRAMES_SENT).inc()
+            obs.counter(metric_names.SWB_BYTES_SENT).inc(len(frame))
         self.endpoint.transport.send(
             self.endpoint.node_name,
             self.peer_node,
@@ -286,17 +298,23 @@ class SwitchboardConnection:
         seq = int(outer["seq"])
         if seq <= self._recv_seq:
             self.stats.replays_rejected += 1
+            obs.counter(metric_names.SWB_REPLAYS_REJECTED).inc()
             return
         ad = self._associated_data(
             sender_is_initiator=bool(outer["from_initiator"]), seq=seq
         )
+        ciphertext = bytes.fromhex(outer["frame"])
         try:
-            plaintext = self.cipher.decrypt(bytes.fromhex(outer["frame"]), ad)
+            plaintext = self.cipher.decrypt(ciphertext, ad)
         except (CipherError, ValueError):
             self.stats.tamper_rejected += 1
+            obs.counter(metric_names.SWB_TAMPER_REJECTED).inc()
             return
         self._recv_seq = seq
         self.stats.frames_received += 1
+        if obs.is_enabled():
+            obs.counter(metric_names.SWB_FRAMES_RECEIVED).inc()
+            obs.counter(metric_names.SWB_BYTES_RECEIVED).inc(len(ciphertext))
         self._handle(decode_frame(plaintext))
 
     def _handle(self, inner: dict) -> None:
@@ -352,7 +370,12 @@ class SwitchboardConnection:
         pending = self._pending.pop(inner["call_id"], None)
         if pending is None:
             return
+        if pending.started_at is not None:
+            obs.histogram(metric_names.SWB_RPC_LATENCY).observe(
+                self.endpoint.transport.scheduler.now() - pending.started_at
+            )
         if "error" in inner:
+            obs.counter(metric_names.SWB_RPC_FAILURES).inc()
             pending.fail(inner["error"])
         else:
             pending.resolve(inner.get("value"))
@@ -401,8 +424,14 @@ class SwitchboardConnection:
         if self.state is state:
             return
         self.state = state
+        if state is ChannelState.REVOKED:
+            obs.counter(metric_names.SWB_CHANNELS_REVOKED).inc()
+        elif state is ChannelState.DEAD:
+            obs.counter(metric_names.SWB_CHANNELS_DEAD).inc()
         if state in (ChannelState.DEAD, ChannelState.CLOSED):
             self.stop_heartbeats()
+            self._mark_down()
+            self._abort_pending(state.value)
         if state is not ChannelState.OPEN:
             self.streams.abort_all()
         for callback in list(self._trust_callbacks):
@@ -413,7 +442,34 @@ class SwitchboardConnection:
         self.stop_expiry_watch()
         self.monitor.close()
         self.state = state
+        obs.counter(metric_names.SWB_CHANNELS_CLOSED).inc()
+        self._mark_down()
+        self._abort_pending(state.value)
         self.endpoint._forget(self.conn_id)
+
+    def _mark_down(self) -> None:
+        """Decrement the live-channel gauge exactly once per connection."""
+        if self._live_counted:
+            self._live_counted = False
+            obs.gauge(metric_names.SWB_CHANNELS_LIVE).dec()
+
+    def _abort_pending(self, reason: str) -> None:
+        """Fail every in-flight call with a typed error.
+
+        A channel torn down mid-RPC must not leave callers blocked on a
+        future that can never complete; each pending call raises
+        :class:`~repro.errors.RpcAbortedError` and counts as an RPC
+        failure.
+        """
+        pending_calls, self._pending = list(self._pending.values()), {}
+        for pending in pending_calls:
+            obs.counter(metric_names.SWB_RPC_FAILURES).inc()
+            pending.abort(
+                RpcAbortedError(
+                    f"channel {self.conn_id} {reason} before call "
+                    f"{pending.method!r} completed"
+                )
+            )
 
 
 class SwitchboardEndpoint:
@@ -452,6 +508,7 @@ class SwitchboardEndpoint:
     ) -> "PendingConnection":
         """Initiate a handshake; returns a future SwitchboardConnection."""
         conn_id = f"conn-{next(_conn_ids)}-{secrets.token_hex(4)}"
+        obs.counter(metric_names.SWB_HANDSHAKES_INITIATED).inc()
         dh = DiffieHellman()
         nonce = secrets.token_hex(16)
         dial = _Dial(conn_id=conn_id, suite=suite, dh=dh, nonce=nonce)
@@ -527,6 +584,7 @@ class SwitchboardEndpoint:
         conn_id = outer["conn_id"]
 
         def reject(reason: str) -> None:
+            obs.counter(metric_names.SWB_HANDSHAKES_REJECTED).inc()
             self.transport.send(
                 self.node_name,
                 outer["reply_to"],
@@ -566,6 +624,7 @@ class SwitchboardEndpoint:
         )
         self._connections[conn_id] = connection
         self._conn_suites[conn_id] = suite
+        obs.counter(metric_names.SWB_HANDSHAKES_ACCEPTED).inc()
         signature = suite.identity.sign(
             _handshake_bytes(
                 conn_id, "responder", dh.public_value, [outer["nonce"], nonce]

@@ -43,8 +43,12 @@ class PendingCall:
     call_id: int
     method: str
     done: bool = False
+    started_at: Optional[float] = None
+    """Scheduler time the call was sent; lets the channel layer record
+    completion latency in virtual time."""
     _value: Any = None
     _error: Optional[str] = None
+    _exception: Optional[Exception] = field(default=None, repr=False)
     _scheduler: EventScheduler | None = field(default=None, repr=False)
 
     def resolve(self, value: Any) -> None:
@@ -55,10 +59,17 @@ class PendingCall:
         self.done = True
         self._error = message
 
+    def abort(self, exc: Exception) -> None:
+        """Fail the call with a typed local exception (channel teardown)."""
+        self.done = True
+        self._exception = exc
+
     @property
     def value(self) -> Any:
         if not self.done:
             raise SwitchboardError(f"call {self.method!r} not complete")
+        if self._exception is not None:
+            raise self._exception
         if self._error is not None:
             raise RemoteError(self._error)
         return self._value

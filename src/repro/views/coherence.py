@@ -21,7 +21,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Protocol
 
+from .. import obs
 from ..errors import ViewError
+from ..obs import names as metric_names
 
 
 class CoherencePolicy(enum.Enum):
@@ -128,11 +130,13 @@ class CacheManager:
         if self._depth > 1:
             return
         self.stats.acquires += 1
+        obs.counter(metric_names.COHERENCE_ACQUIRES).inc()
         if self.policy is CoherencePolicy.ON_DEMAND:
             image = self.view.extractImageFromObj()
             if image:
                 self.view.mergeImageIntoView(image)
                 self.stats.images_pulled += 1
+                obs.counter(metric_names.COHERENCE_IMAGES_PULLED).inc()
 
     def release_image(self) -> None:
         if self._depth == 0:
@@ -141,9 +145,11 @@ class CacheManager:
         if self._depth > 0:
             return
         self.stats.releases += 1
+        obs.counter(metric_names.COHERENCE_RELEASES).inc()
         if self.policy in (CoherencePolicy.ON_DEMAND, CoherencePolicy.WRITE_THROUGH):
             image = self.view.extractImageFromView()
             if image:
                 self.view.mergeImageIntoObj(image)
                 self.stats.images_pushed += 1
+                obs.counter(metric_names.COHERENCE_IMAGES_PUSHED).inc()
                 self._dirty = False

@@ -1,0 +1,116 @@
+"""Property-based tests for attribute attenuation (hypothesis).
+
+``meet_attributes`` is the algebraic heart of chain attenuation: it must
+behave as a meet-semilattice operation — commutative, associative, and
+idempotent — and folding it along a delegation chain must only ever
+*narrow* what a subject may do.
+
+One subtlety drives the generation strategy: associativity only holds
+when each attribute key keeps a single kind along the chain.  Mixing a
+scalar with a range on the same key is order-dependent by construction
+(``(1 ∧ 10) ∧ (5,15)`` is empty but ``1 ∧ (10 ∧ (5,15))`` is ``1``
+because ``scalar ∧ scalar`` collapses to the min *before* the range
+check), which mirrors real credentials: an attribute is declared with
+one shape and every delegation attenuates it in that shape.  So the
+strategies fix a kind per key and draw all values for that key from it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import assume, given, settings, strategies as st  # noqa: E402
+
+from repro.drbac.model import (  # noqa: E402
+    AttrRange,
+    AttrScalar,
+    AttrSet,
+    IncompatibleAttributes,
+    meet_attributes,
+)
+
+KEYS = ("Secure", "Trust", "CPU", "Zone")
+KINDS = ("set", "range", "scalar")
+
+_set_elements = st.sampled_from([True, False, 1, 2, 3, "a", "b"])
+_numbers = st.integers(min_value=-20, max_value=20).map(float)
+
+
+def _value_of_kind(kind: str) -> st.SearchStrategy:
+    if kind == "set":
+        return st.frozensets(_set_elements, min_size=1, max_size=4).map(AttrSet)
+    if kind == "range":
+        return st.tuples(_numbers, _numbers).map(
+            lambda pair: AttrRange(min(pair), max(pair))
+        )
+    return _numbers.map(AttrScalar)
+
+
+@st.composite
+def attribute_map_chains(draw, *, length: int):
+    """``length`` attribute maps whose shared keys share one kind each."""
+    kinds = {key: draw(st.sampled_from(KINDS)) for key in KEYS}
+    chain = []
+    for _ in range(length):
+        keys = draw(st.lists(st.sampled_from(KEYS), unique=True, max_size=len(KEYS)))
+        chain.append({key: draw(_value_of_kind(kinds[key])) for key in keys})
+    return chain
+
+
+def _meet_or_none(a, b):
+    try:
+        return meet_attributes(a, b)
+    except IncompatibleAttributes:
+        return None
+
+
+@given(attribute_map_chains(length=2))
+@settings(max_examples=200)
+def test_meet_is_commutative(chain):
+    a, b = chain
+    assert _meet_or_none(a, b) == _meet_or_none(b, a)
+
+
+@given(attribute_map_chains(length=3))
+@settings(max_examples=200)
+def test_meet_is_associative(chain):
+    a, b, c = chain
+    left = _meet_or_none(_meet_or_none(a, b) or {}, c) if _meet_or_none(a, b) is not None else None
+    right = _meet_or_none(a, _meet_or_none(b, c) or {}) if _meet_or_none(b, c) is not None else None
+    # An empty meet anywhere poisons the whole fold, in either grouping.
+    if left is None or right is None:
+        assert left is None and right is None
+    else:
+        assert left == right
+
+
+@given(attribute_map_chains(length=1))
+@settings(max_examples=200)
+def test_meet_is_idempotent(chain):
+    (a,) = chain
+    assert meet_attributes(a, a) == a
+
+
+@given(attribute_map_chains(length=4))
+@settings(max_examples=200)
+def test_attenuation_along_a_chain_never_widens(chain):
+    folds = []
+    acc: dict = {}
+    try:
+        for attrs in chain:
+            acc = meet_attributes(acc, attrs)
+            folds.append(acc)
+    except IncompatibleAttributes:
+        assume(False)  # chain dies entirely; nothing to compare
+    final = folds[-1]
+    for prefix in folds:
+        for key, value in prefix.items():
+            # Every key a prefix constrains stays at least as constrained
+            # in the final map: prefix ⊇ final, i.e. the prefix value can
+            # satisfy the final one as a requirement.
+            assert key in final
+            assert value.satisfies(final[key]), (
+                f"chain widened {key}: prefix {value} -> final {final[key]}"
+            )

@@ -1,0 +1,157 @@
+"""Metrics primitives: counters, gauges, histogram quantiles, registry."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("c")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increments(self):
+        c = Counter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        g = Gauge("g")
+        g.set(10)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == 11.5
+
+
+class TestHistogram:
+    def test_summary_tracks_count_sum_min_max_mean(self):
+        h = Histogram("h", COUNT_BUCKETS)
+        for v in (1, 2, 3, 10):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == 16
+        assert s["min"] == 1
+        assert s["max"] == 10
+        assert s["mean"] == 4
+
+    def test_empty_summary_and_quantile(self):
+        h = Histogram("h")
+        assert h.summary() == {"count": 0, "sum": 0.0}
+        assert math.isnan(h.quantile(0.5))
+
+    def test_quantile_bounds_checked(self):
+        h = Histogram("h")
+        with pytest.raises(ValueError, match="outside"):
+            h.quantile(1.5)
+
+    def test_single_value_quantiles_collapse(self):
+        h = Histogram("h", COUNT_BUCKETS)
+        for _ in range(100):
+            h.observe(7)
+        assert h.quantile(0.5) == 7
+        assert h.quantile(0.95) == 7
+        assert h.quantile(0.99) == 7
+
+    def test_quantiles_clamped_to_observed_range(self):
+        # One sample in a wide bucket: interpolation must not report a
+        # value outside [min, max].
+        h = Histogram("h", (1, 1000))
+        h.observe(500)
+        assert h.quantile(0.01) == 500
+        assert h.quantile(0.99) == 500
+
+    def test_quantiles_accurate_to_bucket_width(self):
+        rng = random.Random(42)
+        h = Histogram("h", tuple(range(1, 101)))  # unit-width buckets
+        samples = [rng.uniform(0, 100) for _ in range(5000)]
+        for v in samples:
+            h.observe(v)
+        samples.sort()
+        for q in (0.50, 0.95, 0.99):
+            exact = samples[int(q * len(samples)) - 1]
+            assert h.quantile(q) == pytest.approx(exact, abs=1.5)
+
+    def test_overflow_bucket_reports_max(self):
+        h = Histogram("h", (1, 2))
+        h.observe(1)
+        h.observe(50)  # beyond the last bound
+        assert h.max == 50
+        assert h.quantile(0.99) == 50
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", (2, 1))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", (1, 1, 2))
+
+
+class TestRegistry:
+    def test_creation_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            reg.histogram("x")
+
+    def test_names_and_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("a.c")
+        reg.gauge("a.g")
+        reg.histogram("a.h")
+        assert reg.names() == ["a.c", "a.g", "a.h"]
+        assert reg.kinds() == {"a.c": "counter", "a.g": "gauge", "a.h": "histogram"}
+
+    def test_counter_value_defaults_to_zero(self):
+        reg = MetricsRegistry()
+        assert reg.counter_value("never.created") == 0
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", COUNT_BUCKETS).observe(2)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.names() == []
+        assert reg.counter_value("c") == 0
+
+    def test_null_registry_allocates_nothing(self):
+        NULL_REGISTRY.counter("x").inc(10)
+        NULL_REGISTRY.gauge("y").set(5)
+        NULL_REGISTRY.histogram("z").observe(1)
+        assert NULL_REGISTRY.names() == []
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }

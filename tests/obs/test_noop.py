@@ -1,0 +1,136 @@
+"""The module-level obs API: enable/disable, scoped state, snapshots."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.clock import ManualClock
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+)
+from repro.obs.trace import NULL_SPAN, NULL_TRACER
+
+
+class TestDisabledMode:
+    def test_disable_swaps_in_the_null_twins(self):
+        with obs.scoped():
+            obs.disable()
+            assert not obs.is_enabled()
+            assert obs.get_registry() is NULL_REGISTRY
+            assert obs.get_tracer() is NULL_TRACER
+            assert obs.counter("any.name") is NULL_COUNTER
+            assert obs.gauge("any.name") is NULL_GAUGE
+            assert obs.histogram("any.name") is NULL_HISTOGRAM
+            assert obs.span("any.name") is NULL_SPAN
+
+    def test_disabled_instrumentation_records_nothing(self):
+        with obs.scoped(enabled=False) as reg:
+            obs.counter("c").inc(100)
+            obs.gauge("g").set(9)
+            obs.histogram("h").observe(1.0)
+            with obs.span("s", key="value"):
+                pass
+            assert reg.names() == []
+
+    def test_null_span_nests_as_a_no_op(self):
+        with obs.scoped(enabled=False):
+            with obs.span("outer") as outer:
+                with obs.span("inner") as inner:
+                    assert inner is outer is NULL_SPAN
+            assert NULL_SPAN.set(anything=1) is NULL_SPAN
+            assert NULL_SPAN.duration == 0.0
+
+    def test_enable_after_disable_starts_fresh(self):
+        with obs.scoped():
+            obs.counter("stale").inc()
+            obs.disable()
+            obs.enable()
+            assert obs.is_enabled()
+            assert obs.get_registry().names() == []
+            obs.counter("fresh").inc()
+            assert obs.get_registry().counter_value("fresh") == 1
+
+    def test_enable_when_already_enabled_keeps_state(self):
+        with obs.scoped() as reg:
+            obs.counter("kept").inc()
+            obs.enable()
+            assert obs.get_registry() is reg
+            assert reg.counter_value("kept") == 1
+
+
+class TestScoped:
+    def test_scoped_isolates_and_restores(self):
+        outer_registry = obs.get_registry()
+        outer_enabled = obs.is_enabled()
+        with obs.scoped() as reg:
+            assert obs.get_registry() is reg
+            assert reg is not outer_registry
+            obs.counter("scoped.only").inc()
+        assert obs.get_registry() is outer_registry
+        assert obs.is_enabled() == outer_enabled
+
+    def test_scoped_restores_even_on_error(self):
+        outer_registry = obs.get_registry()
+        try:
+            with obs.scoped():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert obs.get_registry() is outer_registry
+
+    def test_nested_scopes_do_not_leak(self):
+        with obs.scoped() as outer:
+            obs.counter("outer.c").inc()
+            with obs.scoped() as inner:
+                obs.counter("inner.c").inc()
+                assert inner.counter_value("outer.c") == 0
+            assert obs.get_registry() is outer
+            assert outer.counter_value("inner.c") == 0
+
+    def test_scoped_clock_drives_spans(self):
+        clock = ManualClock()
+        with obs.scoped(clock=clock):
+            with obs.span("virtual") as span:
+                clock.advance(4.0)
+            assert span.duration == 4.0
+
+
+class TestReporting:
+    def test_snapshot_reflects_active_registry(self):
+        with obs.scoped():
+            obs.counter("snap.c").inc(2)
+            snap = obs.snapshot()
+        assert snap["counters"] == {"snap.c": 2}
+
+    def test_reset_clears_without_changing_mode(self):
+        with obs.scoped():
+            obs.counter("c").inc()
+            obs.reset()
+            assert obs.is_enabled()
+            assert obs.get_registry().names() == []
+
+    def test_format_snapshot_lists_every_section(self):
+        with obs.scoped():
+            obs.counter("c.one").inc(3)
+            obs.gauge("g.one").set(2)
+            obs.histogram("h.one").observe(0.5)
+            obs.histogram("h.empty")
+            text = obs.format_snapshot()
+        assert "== counters ==" in text
+        assert "c.one" in text and "3" in text
+        assert "== gauges ==" in text
+        assert "== histograms ==" in text
+        assert "count=1" in text
+        assert "count=0" in text  # the empty histogram renders too
+
+    def test_format_snapshot_empty_message(self):
+        with obs.scoped(enabled=False):
+            assert "no metrics recorded" in obs.format_snapshot()
+
+    def test_catalogue_buckets_applied_by_name(self):
+        from repro.obs import names
+        with obs.scoped():
+            h = obs.histogram(names.PROOF_EDGES_VISITED)
+            assert h.buckets == tuple(float(b) for b in obs.COUNT_BUCKETS)

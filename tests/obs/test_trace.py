@@ -1,0 +1,113 @@
+"""Tracer and span behaviour: nesting, durations, retention."""
+
+from __future__ import annotations
+
+from repro.clock import ManualClock
+from repro.obs.trace import Tracer
+
+
+class TestNesting:
+    def test_children_attach_to_enclosing_span(self):
+        tracer = Tracer(ManualClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("mid") as mid:
+                with tracer.span("inner") as inner:
+                    assert tracer.current is inner
+        assert mid.parent is outer
+        assert inner.parent is mid
+        assert outer.children == [mid]
+        assert mid.children == [inner]
+        assert (outer.depth, mid.depth, inner.depth) == (0, 1, 2)
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer(ManualClock())
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert [c.name for c in root.children] == ["a", "b"]
+
+    def test_only_roots_retained(self):
+        tracer = Tracer(ManualClock())
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [s.name for s in tracer.roots()] == ["root"]
+        # but find() walks the whole retained tree
+        assert len(tracer.find("child")) == 1
+
+    def test_current_clears_after_exit(self):
+        tracer = Tracer(ManualClock())
+        with tracer.span("s"):
+            pass
+        assert tracer.current is None
+
+
+class TestDurations:
+    def test_duration_uses_the_injected_clock(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        with tracer.span("timed") as span:
+            clock.advance(2.5)
+        assert span.duration == 2.5
+        assert span.start == 0.0
+        assert span.end == 2.5
+
+    def test_open_span_measures_to_now(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        with tracer.span("open") as span:
+            clock.advance(1.0)
+            assert span.duration == 1.0
+            clock.advance(1.0)
+            assert span.duration == 2.0
+
+    def test_nested_durations_are_disjoint(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        with tracer.span("outer") as outer:
+            clock.advance(1.0)
+            with tracer.span("inner") as inner:
+                clock.advance(3.0)
+            clock.advance(1.0)
+        assert inner.duration == 3.0
+        assert outer.duration == 5.0
+
+
+class TestAttributes:
+    def test_attributes_at_creation_and_via_set(self):
+        tracer = Tracer(ManualClock())
+        with tracer.span("s", role="Member") as span:
+            span.set(result="found")
+        assert span.attributes == {"role": "Member", "result": "found"}
+
+
+class TestRetention:
+    def test_bounded_root_retention(self):
+        tracer = Tracer(ManualClock(), max_spans=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.roots()] == ["s2", "s3", "s4"]
+
+    def test_reset_clears_retained_spans(self):
+        tracer = Tracer(ManualClock())
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.roots() == []
+        assert tracer.current is None
+
+    def test_leaked_child_does_not_corrupt_the_stack(self):
+        # An exception between a child's enter and exit leaves it on the
+        # stack; the parent's exit must pop through it.
+        tracer = Tracer(ManualClock())
+        outer = tracer.span("outer")
+        outer.__enter__()
+        tracer.span("leaked").__enter__()  # never exited
+        outer.__exit__(None, None, None)
+        assert tracer.current is None
+        with tracer.span("after") as after:
+            pass
+        assert after.parent is None

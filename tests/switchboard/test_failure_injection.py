@@ -1,0 +1,135 @@
+"""Failure injection: channels torn down with RPCs still in flight.
+
+A pending call whose channel dies must not hang its caller or fail with
+an untyped error: every teardown path — local close, peer-initiated
+close, and liveness-declared death — aborts in-flight calls with
+:class:`repro.errors.RpcAbortedError` and counts each one on the
+``switchboard.rpc.failures`` counter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.crypto import KeyStore
+from repro.drbac import DrbacEngine
+from repro.errors import RpcAbortedError, SwitchboardError
+from repro.net import EventScheduler, Network, Transport
+from repro.obs import names as metric_names
+from repro.switchboard import (
+    AcceptAllAuthorizer,
+    AuthorizationSuite,
+    ChannelState,
+    SwitchboardEndpoint,
+)
+
+
+class SlowService:
+    def work(self):
+        return "done"
+
+
+@pytest.fixture()
+def world(key_store: KeyStore):
+    engine = DrbacEngine(key_store=key_store)
+    net = Network()
+    net.add_node("cnode")
+    net.add_node("snode")
+    net.add_link("cnode", "snode", latency_s=0.005, secure=False)
+    transport = Transport(net, EventScheduler())
+    directory = lambda name: (
+        key_store.public(name) if name in key_store else None
+    )
+    client_ep = SwitchboardEndpoint(transport, "cnode", directory=directory)
+    server_ep = SwitchboardEndpoint(transport, "snode", directory=directory)
+    server_ep.export("svc", SlowService())
+    server_ep.listen("svc", _suite(engine, "Service"))
+    return engine, transport, client_ep, server_ep
+
+
+def _suite(engine, name, credentials=()):
+    return AuthorizationSuite(
+        identity=engine.identity(name),
+        credentials=list(credentials),
+        authorizer=AcceptAllAuthorizer(),
+    )
+
+
+def _connect(engine, client_ep):
+    return client_ep.connect("snode", "svc", _suite(engine, "Client")).wait()
+
+
+class TestTeardownMidRpc:
+    def test_local_close_aborts_pending_call(self, world):
+        engine, transport, client_ep, server_ep = world
+        with obs.scoped() as registry:
+            conn = _connect(engine, client_ep)
+            pending = conn.call("svc", "work")
+            assert not pending.done
+            conn.close()  # response can never arrive now
+            assert pending.done
+            with pytest.raises(RpcAbortedError, match="closed before call 'work'"):
+                pending.value
+            assert registry.counter_value(metric_names.SWB_RPC_FAILURES) == 1
+            assert registry.counter_value(metric_names.SWB_CHANNELS_CLOSED) == 1
+
+    def test_peer_close_aborts_pending_call(self, world):
+        engine, transport, client_ep, server_ep = world
+        with obs.scoped() as registry:
+            conn = _connect(engine, client_ep)
+            pending = conn.call("svc", "work")
+            # The peer tears down before serving the in-flight request.
+            server_ep.connections()[0].close()
+            with pytest.raises(RpcAbortedError, match="closed"):
+                pending.wait()
+            assert conn.state is ChannelState.CLOSED
+            assert registry.counter_value(metric_names.SWB_RPC_FAILURES) == 1
+
+    def test_dead_channel_aborts_pending_call(self, world):
+        engine, transport, client_ep, server_ep = world
+        with obs.scoped() as registry:
+            conn = _connect(engine, client_ep)
+            conn.start_heartbeats(1.0, max_missed=2)
+            pending = conn.call("svc", "work")
+            # Crash the peer: its connection vanishes without a close
+            # frame, so calls and pings go unanswered while the link
+            # itself stays up.
+            server_conn = server_ep.connections()[0]
+            server_ep._forget(server_conn.conn_id)
+            transport.scheduler.run_until(5.0)
+            assert conn.state is ChannelState.DEAD
+            assert pending.done
+            with pytest.raises(RpcAbortedError, match="dead before call 'work'"):
+                pending.value
+            assert registry.counter_value(metric_names.SWB_CHANNELS_DEAD) == 1
+            assert registry.counter_value(metric_names.SWB_RPC_FAILURES) == 1
+            assert registry.gauge(metric_names.SWB_CHANNELS_LIVE).value == 1  # server end leaked by the crash
+
+    def test_every_pending_call_aborted(self, world):
+        engine, transport, client_ep, server_ep = world
+        with obs.scoped() as registry:
+            conn = _connect(engine, client_ep)
+            calls = [conn.call("svc", "work") for _ in range(3)]
+            conn.close()
+            for pending in calls:
+                with pytest.raises(RpcAbortedError):
+                    pending.value
+            assert registry.counter_value(metric_names.SWB_RPC_FAILURES) == 3
+
+    def test_abort_error_is_typed(self, world):
+        engine, transport, client_ep, server_ep = world
+        conn = _connect(engine, client_ep)
+        pending = conn.call("svc", "work")
+        conn.close()
+        with pytest.raises(SwitchboardError):  # catchable as the family error
+            pending.value
+        assert issubclass(RpcAbortedError, SwitchboardError)
+
+    def test_completed_call_unaffected_by_later_close(self, world):
+        engine, transport, client_ep, server_ep = world
+        conn = _connect(engine, client_ep)
+        pending = conn.call("svc", "work")
+        assert pending.wait() == "done"
+        conn.close()
+        assert pending.value == "done"  # result survives the teardown

@@ -1,11 +1,17 @@
-"""Self-check entry-point tests (``python -m repro``)."""
+"""Self-check entry-point tests (``python -m repro`` / ``repro stats``),
+plus the metric-name self-check that keeps instrumentation and the
+:mod:`repro.obs.names` catalogue in lock-step."""
 
 from __future__ import annotations
 
+import json
 import subprocess
 import sys
 
-from repro.__main__ import run_selfcheck
+from repro import obs
+from repro.__main__ import exercise_scenario, run_selfcheck, run_stats
+from repro.obs import names as metric_names
+from repro.obs.names import CATALOGUE, catalogue_by_name
 
 
 class TestSelfCheck:
@@ -24,3 +30,89 @@ class TestSelfCheck:
         )
         assert result.returncode == 0, result.stderr[-1500:]
         assert "ALL CHECKS PASSED" in result.stdout
+
+
+class TestMetricCatalogue:
+    def test_catalogue_has_no_duplicates(self):
+        by_name = catalogue_by_name()  # raises on duplicate entries
+        assert len(by_name) == len(CATALOGUE)
+
+    def test_catalogue_kinds_are_valid(self):
+        assert {spec.kind for spec in CATALOGUE} <= {"counter", "gauge", "histogram"}
+
+    def test_every_name_constant_is_catalogued(self):
+        by_name = catalogue_by_name()
+        constants = {
+            value
+            for key, value in vars(metric_names).items()
+            if key.isupper() and isinstance(value, str)
+        }
+        assert constants == set(by_name)
+
+    def test_every_instrumented_metric_is_registered_exactly_once(self):
+        """Drive every instrumented subsystem, then check each live metric
+        against the catalogue: known name, matching kind, no strays.  A
+        typo'd name in any instrumentation site fails here instead of
+        silently splitting a counter in two."""
+        by_name = catalogue_by_name()
+        with obs.scoped() as registry:
+            exercise_scenario(key_bits=512)
+            live_kinds = registry.kinds()
+        assert live_kinds, "exercise_scenario recorded no metrics"
+        strays = set(live_kinds) - set(by_name)
+        assert not strays, f"instrumented metrics missing from the catalogue: {strays}"
+        mismatched = {
+            name: (kind, by_name[name].kind)
+            for name, kind in live_kinds.items()
+            if by_name[name].kind != kind
+        }
+        assert not mismatched, f"metric kind conflicts: {mismatched}"
+
+    def test_scenario_lights_up_every_subsystem(self):
+        """The acceptance criterion behind ``repro stats``: the mail
+        scenario produces non-zero proof-search, channel, and deployment
+        metrics (plus cache and coherence traffic)."""
+        with obs.scoped() as registry:
+            exercise_scenario(key_bits=512)
+            for counter in (
+                metric_names.PROOF_SEARCHES,
+                metric_names.PROOF_FOUND,
+                metric_names.AUTHORIZE_GRANTED,
+                metric_names.CACHE_HITS,
+                metric_names.SWB_HANDSHAKES_ACCEPTED,
+                metric_names.SWB_CHANNELS_OPENED,
+                metric_names.SWB_RPC_CALLS,
+                metric_names.PLAN_SUCCESS,
+                metric_names.DEPLOY_DEPLOYMENTS,
+                metric_names.DEPLOY_INSTANCES,
+                metric_names.COHERENCE_ACQUIRES,
+            ):
+                assert registry.counter_value(counter) > 0, counter
+            assert registry.histogram(metric_names.SWB_RPC_LATENCY).count > 0
+
+
+class TestStatsCommand:
+    def test_run_stats_in_process(self, capsys):
+        assert run_stats([]) == 0
+        out = capsys.readouterr().out
+        assert "== counters ==" in out
+        assert metric_names.PROOF_SEARCHES in out
+        assert metric_names.DEPLOY_DEPLOYMENTS in out
+
+    def test_run_stats_json(self, capsys):
+        assert run_stats(["--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["counters"][metric_names.PROOF_SEARCHES] > 0
+        assert snap["counters"][metric_names.SWB_RPC_CALLS] > 0
+        assert snap["histograms"][metric_names.SWB_RPC_LATENCY]["count"] > 0
+
+    def test_stats_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "stats", "--json"],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert result.returncode == 0, result.stderr[-1500:]
+        snap = json.loads(result.stdout)
+        assert snap["counters"][metric_names.DEPLOY_INSTANCES] >= 1
