@@ -1,4 +1,4 @@
-"""Command-line entry points: ``python -m repro [stats]``.
+"""Command-line entry points: ``python -m repro [stats|chaos]``.
 
 The default (no arguments) is the self-check: it builds the paper's
 three-site scenario end to end and verifies the core behavioural battery
@@ -13,6 +13,14 @@ environments.
 cached authorization, a plan/deploy cycle over a Switchboard channel, and
 mail traffic through the deployed view — then dumps the metrics registry
 as a formatted table (or JSON).
+
+``python -m repro chaos --seed N --duration S [--json]`` runs the
+deterministic fault-injection harness (:mod:`repro.faults`): a seeded
+storm of link failures, partitions, node crashes, latency spikes, loss
+bursts, and revocations against two adapted sessions, with per-class
+recovery verification and an invariant sweep.  Identical seeds produce
+byte-identical ``--json`` reports; exit status is non-zero when any
+invariant is violated.
 """
 
 from __future__ import annotations
@@ -206,16 +214,70 @@ def run_stats(argv: list[str] | None = None) -> int:
     return 0
 
 
+def run_chaos(argv: list[str] | None = None) -> int:
+    """The ``repro chaos`` subcommand."""
+    from .faults import ChaosRunner
+
+    argv = list(argv or [])
+    usage = "usage: python -m repro chaos [--seed N] [--duration S] [--intensity X] [--json]"
+    seed, duration, intensity = 7, 5.0, 1.0
+    as_json = False
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "--json":
+            as_json = True
+            index += 1
+            continue
+        if arg in ("--seed", "--duration", "--intensity"):
+            if index + 1 >= len(argv):
+                print(f"repro chaos: {arg} needs a value", file=sys.stderr)
+                print(usage, file=sys.stderr)
+                return 2
+            value = argv[index + 1]
+            try:
+                if arg == "--seed":
+                    seed = int(value)
+                elif arg == "--duration":
+                    duration = float(value)
+                else:
+                    intensity = float(value)
+            except ValueError:
+                print(f"repro chaos: bad value for {arg}: {value!r}", file=sys.stderr)
+                return 2
+            index += 2
+            continue
+        print(f"repro chaos: unknown argument {arg!r}", file=sys.stderr)
+        print(usage, file=sys.stderr)
+        return 2
+    try:
+        report = ChaosRunner(seed=seed, duration=duration, intensity=intensity).run()
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"repro chaos: run failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    if as_json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "stats":
         return run_stats(argv[1:])
+    if argv and argv[0] == "chaos":
+        return run_chaos(argv[1:])
     key_bits = 512
     if argv and argv[0] == "--full-keys":
         key_bits = 1024
     elif argv:
         print(f"repro: unknown command {argv[0]!r}", file=sys.stderr)
-        print("usage: python -m repro [--full-keys] | stats [--json] [--full-keys]", file=sys.stderr)
+        print(
+            "usage: python -m repro [--full-keys] | stats [--json] [--full-keys]"
+            " | chaos [--seed N] [--duration S] [--json]",
+            file=sys.stderr,
+        )
         return 2
     print("repro self-check: Using Views for Customizing Reusable Components (HPDC 2003)")
     return 1 if run_selfcheck(key_bits=key_bits) else 0

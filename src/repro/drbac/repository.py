@@ -23,6 +23,8 @@ import enum
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 
+from .. import obs
+from ..obs import names as metric_names
 from .delegation import Delegation
 from .model import EntityRef, Role, Subject, subject_key
 
@@ -67,11 +69,24 @@ class RepositoryShard:
 
 
 class DistributedRepository:
-    """Shards keyed by home entity, with routed queries and hop counting."""
+    """Shards keyed by home entity, with routed queries and hop counting.
 
-    def __init__(self) -> None:
+    With ``replicated=True`` every publish is mirrored to a warm replica
+    shard; :meth:`fail_shard` then models the home node crashing — routed
+    queries transparently fail over to the replica (counted, so chaos runs
+    can assert the recovery happened) until :meth:`restore_shard`.  An
+    unreplicated repository answers queries for a failed shard with the
+    empty set, which is the paper's degraded mode: proofs relying on that
+    home's credentials become undiscoverable until the node returns.
+    """
+
+    def __init__(self, *, replicated: bool = False) -> None:
         self._shards: dict[str, RepositoryShard] = {}
+        self._replicas: dict[str, RepositoryShard] = {}
+        self._down: set[str] = set()
+        self.replicated = replicated
         self.query_count = 0
+        self.failover_count = 0
 
     def shard(self, home: str) -> RepositoryShard:
         shard = self._shards.get(home)
@@ -80,6 +95,52 @@ class DistributedRepository:
             self._shards[home] = shard
         return shard
 
+    def _replica(self, home: str) -> RepositoryShard:
+        replica = self._replicas.get(home)
+        if replica is None:
+            replica = RepositoryShard(home)
+            self._replicas[home] = replica
+        return replica
+
+    # -- shard failure ---------------------------------------------------------
+
+    def enable_replication(self) -> None:
+        """Turn on warm replicas, mirroring everything already published.
+
+        Lets a harness add fault tolerance to an engine whose repository
+        was built unreplicated: subsequent publishes mirror automatically,
+        and the existing shard contents are copied over right here.
+        """
+        if self.replicated:
+            return
+        self.replicated = True
+        for home, shard in self._shards.items():
+            replica = self._replica(home)
+            for key, bucket in shard.by_subject.items():
+                replica.by_subject[key].extend(bucket)
+            for key, bucket in shard.by_role.items():
+                replica.by_role[key].extend(bucket)
+
+    def fail_shard(self, home: str) -> None:
+        """Mark a home shard unreachable (its node crash-stopped)."""
+        self._down.add(home)
+
+    def restore_shard(self, home: str) -> None:
+        self._down.discard(home)
+
+    def shard_is_down(self, home: str) -> bool:
+        return home in self._down
+
+    def _route(self, home: str) -> RepositoryShard | None:
+        """The shard that answers queries for ``home`` right now."""
+        if home not in self._down:
+            return self._shards.get(home)
+        if self.replicated and home in self._replicas:
+            self.failover_count += 1
+            obs.counter(metric_names.REPO_FAILOVERS).inc()
+            return self._replicas[home]
+        return None
+
     def publish(
         self,
         delegation: Delegation,
@@ -87,9 +148,15 @@ class DistributedRepository:
     ) -> None:
         """Store a credential, indexing per its discovery tags."""
         if DiscoveryTag.SEARCHABLE_FROM_SUBJECT in tags:
-            self.shard(subject_home(delegation.subject)).index_subject(delegation)
+            home = subject_home(delegation.subject)
+            self.shard(home).index_subject(delegation)
+            if self.replicated:
+                self._replica(home).index_subject(delegation)
         if DiscoveryTag.SEARCHABLE_FROM_OBJECT in tags:
-            self.shard(delegation.role.owner).index_role(delegation)
+            home = delegation.role.owner
+            self.shard(home).index_role(delegation)
+            if self.replicated:
+                self._replica(home).index_role(delegation)
 
     def publish_all(self, delegations: list[Delegation]) -> None:
         for delegation in delegations:
@@ -100,7 +167,7 @@ class DistributedRepository:
     def find_by_subject(self, subject: Subject) -> list[Delegation]:
         """Credentials whose subject is exactly ``subject`` (routed query)."""
         self.query_count += 1
-        shard = self._shards.get(subject_home(subject))
+        shard = self._route(subject_home(subject))
         if shard is None:
             return []
         return list(shard.by_subject.get(subject_key(subject), ()))
@@ -108,7 +175,7 @@ class DistributedRepository:
     def find_by_role(self, role: Role) -> list[Delegation]:
         """Credentials granting ``role`` (routed query to the owner's home)."""
         self.query_count += 1
-        shard = self._shards.get(role.owner)
+        shard = self._route(role.owner)
         if shard is None:
             return []
         return list(shard.by_role.get(str(role), ()))

@@ -83,6 +83,10 @@ class RpcAbortedError(SwitchboardError):
     down (closed, died, or lost its link) before the result arrived."""
 
 
+class RpcTimeoutError(SwitchboardError):
+    """Waiting on a pending call exceeded the caller's timeout budget."""
+
+
 class PsfError(ReproError):
     """Base class for Partitionable Services Framework failures."""
 
@@ -101,3 +105,12 @@ class NetworkError(ReproError):
 
 class LinkDownError(NetworkError):
     """A message was sent over a link that is down or does not exist."""
+
+
+class NodeDownError(NetworkError):
+    """A message was addressed to a node that has crash-stopped."""
+
+
+class FaultError(ReproError):
+    """Base class for fault-injection subsystem failures (bad plans,
+    events aimed at unknown topology elements, misconfigured schedules)."""

@@ -1,0 +1,55 @@
+"""repro.faults — deterministic fault injection and recovery.
+
+The package has two faces:
+
+* **Reusable recovery primitives** (:mod:`~repro.faults.retry`) that the
+  rest of the repro imports — :class:`RetryPolicy` paces RPC
+  retransmission, Switchboard channel re-establishment, and chaos-harness
+  probes from one seeded, deterministic definition.
+* **The chaos harness** — :class:`FaultPlan`/:class:`FaultEvent`
+  (:mod:`~repro.faults.plan`), the :class:`FaultInjector` that executes a
+  plan against a live world (:mod:`~repro.faults.injector`), the seeded
+  schedule generator (:mod:`~repro.faults.chaos`), invariant checkers
+  (:mod:`~repro.faults.invariants`), and the :class:`ChaosRunner` that
+  ties them into a reproducible end-to-end run
+  (:mod:`~repro.faults.runner`).
+
+Only the primitive layer is imported eagerly: ``switchboard.rpc`` and
+``switchboard.channel`` import :class:`RetryPolicy` from here, so pulling
+the harness modules (which import switchboard/psf back) at package import
+time would cycle.  Harness names resolve lazily on first attribute
+access.
+"""
+
+from __future__ import annotations
+
+from .plan import FaultEvent, FaultKind, FaultPlan
+from .retry import RetryPolicy, RetrySchedule
+
+_LAZY = {
+    "FaultInjector": ("repro.faults.injector", "FaultInjector"),
+    "generate_chaos_plan": ("repro.faults.chaos", "generate_chaos_plan"),
+    "InvariantViolation": ("repro.faults.invariants", "InvariantViolation"),
+    "InvariantSuite": ("repro.faults.invariants", "InvariantSuite"),
+    "ChaosRunner": ("repro.faults.runner", "ChaosRunner"),
+    "ChaosReport": ("repro.faults.runner", "ChaosReport"),
+}
+
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "RetryPolicy",
+    "RetrySchedule",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,140 @@
+"""Fault taxonomy and scheduled fault plans.
+
+A :class:`FaultPlan` is a time-ordered list of :class:`FaultEvent`\\ s —
+the declarative artifact the :class:`~repro.faults.injector.FaultInjector`
+executes against the simulated world.  Plans are plain data: they can be
+generated from a seed (:mod:`repro.faults.chaos`), written by hand in
+tests, serialized into a chaos report, and replayed exactly.
+
+Fault classes mirror the hostile environment of the paper's §2.2
+deployment story:
+
+================  ======================================================
+``LINK_DOWN``     a WAN/LAN link fails for ``duration`` seconds
+``PARTITION``     a whole domain loses every inter-domain link
+``NODE_CRASH``    a host crash-stops, then restarts after ``duration``
+``LATENCY_SPIKE`` a link's latency is multiplied for ``duration``
+``LOSS_BURST``    a link drops frames with probability ``rate``
+``REVOKE_STORM``  a batch of live credentials is revoked at once
+================  ======================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..errors import FaultError
+
+
+class FaultKind(enum.Enum):
+    LINK_DOWN = "link_down"
+    PARTITION = "partition"
+    NODE_CRASH = "node_crash"
+    LATENCY_SPIKE = "latency_spike"
+    LOSS_BURST = "loss_burst"
+    REVOKE_STORM = "revoke_storm"
+
+    @property
+    def fault_class(self) -> str:
+        """The coarse recovery class this kind is accounted under."""
+        return _FAULT_CLASS[self]
+
+
+_FAULT_CLASS = {
+    FaultKind.LINK_DOWN: "link",
+    FaultKind.PARTITION: "partition",
+    FaultKind.NODE_CRASH: "node",
+    FaultKind.LATENCY_SPIKE: "latency",
+    FaultKind.LOSS_BURST: "loss",
+    FaultKind.REVOKE_STORM: "revocation",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``at`` is virtual seconds from the start of the run; ``duration`` is
+    how long the fault holds before the injector restores the previous
+    state (ignored for ``REVOKE_STORM``, whose recovery is re-issuance by
+    the application layer, not the injector).  ``params`` carries
+    kind-specific data:
+
+    * LINK_DOWN / LATENCY_SPIKE / LOSS_BURST — ``a``, ``b`` endpoints,
+      plus ``factor`` (latency) or ``rate`` (loss)
+    * PARTITION — ``domain``
+    * NODE_CRASH — ``node``
+    * REVOKE_STORM — ``credentials`` (list of credential ids)
+    """
+
+    at: float
+    kind: FaultKind
+    duration: float = 0.0
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultError(f"fault scheduled in the past: {self.at}")
+        if self.duration < 0:
+            raise FaultError(f"negative fault duration: {self.duration}")
+
+    @property
+    def ends_at(self) -> float:
+        return self.at + self.duration
+
+    def describe(self) -> str:
+        detail = " ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"t={self.at:g} {self.kind.value} dur={self.duration:g} {detail}".strip()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form, stable key order, for chaos reports."""
+        return {
+            "at": self.at,
+            "kind": self.kind.value,
+            "duration": self.duration,
+            "params": {k: self.params[k] for k in sorted(self.params)},
+        }
+
+
+class FaultPlan:
+    """A validated, time-sorted fault schedule."""
+
+    def __init__(self, events: list[FaultEvent] | None = None) -> None:
+        self._events: list[FaultEvent] = sorted(
+            events or [], key=lambda e: (e.at, e.kind.value)
+        )
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self._events.append(event)
+        self._events.sort(key=lambda e: (e.at, e.kind.value))
+        return self
+
+    @property
+    def events(self) -> list[FaultEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    @property
+    def horizon(self) -> float:
+        """Virtual time by which every fault has been injected and healed."""
+        return max((e.ends_at for e in self._events), default=0.0)
+
+    def by_class(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self._events:
+            key = event.kind.fault_class
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def to_list(self) -> list[dict[str, Any]]:
+        return [event.to_dict() for event in self._events]
+
+    def describe(self) -> str:
+        return "\n".join(event.describe() for event in self._events)

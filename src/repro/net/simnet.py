@@ -13,7 +13,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
-from ..errors import LinkDownError, NetworkError
+from ..errors import LinkDownError, NetworkError, NodeDownError
 
 Handler = Callable[[bytes, str], None]
 """Service handler: (payload, sender node name) -> None."""
@@ -31,6 +31,9 @@ class SimNode:
     name: str
     domain: str = ""
     properties: dict = field(default_factory=dict)
+    up: bool = True
+    """Crash-stop flag: a down node neither routes nor delivers; the fault
+    injector flips it (via the environment monitor, so planners re-plan)."""
     _services: dict[str, Handler] = field(default_factory=dict, repr=False)
 
     def bind(self, service: str, handler: Handler) -> None:
@@ -41,6 +44,8 @@ class SimNode:
         self._services.pop(service, None)
 
     def deliver(self, service: str, payload: bytes, sender: str) -> None:
+        if not self.up:
+            raise NodeDownError(f"node {self.name} is down")
         handler = self._services.get(service)
         if handler is None:
             raise NetworkError(
@@ -175,9 +180,12 @@ class Network:
     # -- routing -----------------------------------------------------------------
 
     def shortest_path(self, src: str, dst: str) -> list[str]:
-        """Dijkstra over live links; raises when no route exists."""
+        """Dijkstra over live links and live nodes; raises when no route
+        exists (a crash-stopped node cannot originate, relay, or sink)."""
         if src not in self._nodes or dst not in self._nodes:
             raise NetworkError(f"unknown endpoint: {src!r} or {dst!r}")
+        if not self._nodes[src].up or not self._nodes[dst].up:
+            raise NodeDownError(f"no route from {src!r} to {dst!r}: endpoint down")
         if src == dst:
             return [src]
         dist: dict[str, float] = {src: 0.0}
@@ -193,7 +201,7 @@ class Network:
                 break
             for v in self._adjacency[u]:
                 link = self._links[frozenset((u, v))]
-                if not link.up:
+                if not link.up or not self._nodes[v].up:
                     continue
                 nd = d + link.transfer_delay(self._ROUTE_PROBE_BYTES)
                 if nd < dist.get(v, float("inf")):

@@ -15,7 +15,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable
 
+from .. import obs
 from ..errors import LinkDownError, NetworkError
+from ..obs import names as metric_names
 from .events import EventScheduler
 from .simnet import Network, SimLink
 
@@ -30,6 +32,8 @@ class TransportStats:
     messages_dropped: int = 0
     messages_lost: int = 0
     """Frames eaten by lossy links (failure injection)."""
+    messages_rerouted: int = 0
+    """Frames whose route died mid-flight and were re-sent another way."""
     bytes_sent: int = 0
 
 
@@ -72,22 +76,29 @@ class Transport:
         payload: bytes,
         *,
         on_dropped: Callable[[Exception], None] | None = None,
+        max_reroutes: int = 2,
     ) -> float:
         """Queue a frame for delivery; returns the scheduled delay.
 
-        Raises :class:`LinkDownError` immediately when no route exists at
-        send time.  Frames traversing a link that goes down mid-flight are
-        still delivered (the simulation resolves the route at send time),
-        matching a store-and-forward model.
+        Raises :class:`LinkDownError` (or :class:`NodeDownError`)
+        immediately when no route exists at send time.  The route is
+        re-checked at *delivery* time: a frame whose path died while in
+        flight is re-sent along a fresh route (up to ``max_reroutes``
+        times, charging the new path's delay) instead of being delivered
+        over a dead link; with no surviving route it is dropped and
+        ``on_dropped`` fires with the routing error.
         """
         path = self.network.shortest_path(src, dst)
         links = self.network.path_links(path)
         delay = 0.0
+        nbytes = len(payload)
         for link in links:
             if not link.up:
                 raise LinkDownError(f"link {link.a}<->{link.b} is down")
-            delay += link.transfer_delay(len(payload))
-            link.bytes_carried += len(payload)
+            delay += link.transfer_delay(nbytes)
+            link.bytes_carried += nbytes
+        if obs.is_enabled():
+            obs.counter(metric_names.NET_LINK_BYTES_CARRIED).inc(nbytes * len(links))
         # Links serialize in order: a small frame queued behind a large one
         # cannot overtake it, so delivery per (src, dst) flow is FIFO.
         now = self.scheduler.now()
@@ -96,7 +107,7 @@ class Transport:
         self._flow_clock[flow] = deliver_at
         delay = deliver_at - now
         self.stats.messages_sent += 1
-        self.stats.bytes_sent += len(payload)
+        self.stats.bytes_sent += nbytes
         self._snoop(links, payload, src, dst)
 
         # Failure injection: lossy links eat frames after the eavesdropper
@@ -105,19 +116,66 @@ class Transport:
             if link.loss_rate > 0 and self._rng.random() < link.loss_rate:
                 link.frames_dropped += 1
                 self.stats.messages_lost += 1
+                if obs.is_enabled():
+                    obs.counter(metric_names.NET_LINK_FRAMES_DROPPED).inc()
                 return delay
 
-        def deliver() -> None:
+        self.scheduler.schedule(
+            delay,
+            lambda: self._deliver(
+                src, dst, service, payload, path, on_dropped, max_reroutes
+            ),
+        )
+        return delay
+
+    def _deliver(
+        self,
+        src: str,
+        dst: str,
+        service: str,
+        payload: bytes,
+        path: list[str],
+        on_dropped: Callable[[Exception], None] | None,
+        reroutes_left: int,
+    ) -> None:
+        """Complete (or salvage) a frame whose transfer delay has elapsed."""
+        if not self._path_alive(path):
+            # The route chosen at send time died under the frame.  Fail
+            # fast or re-route — never deliver over a dead link.
             try:
-                self.network.node(dst).deliver(service, payload, src)
-                self.stats.messages_delivered += 1
+                if reroutes_left <= 0:
+                    raise LinkDownError(
+                        f"route {src!r}->{dst!r} died in flight; reroutes exhausted"
+                    )
+                new_path = self.network.shortest_path(src, dst)
             except NetworkError as exc:
                 self.stats.messages_dropped += 1
                 if on_dropped is not None:
                     on_dropped(exc)
+                return
+            self.stats.messages_rerouted += 1
+            obs.counter(metric_names.NET_MESSAGES_REROUTED).inc()
+            delay = self.network.path_delay(new_path, len(payload))
+            self.scheduler.schedule(
+                delay,
+                lambda: self._deliver(
+                    src, dst, service, payload, new_path, on_dropped, reroutes_left - 1
+                ),
+            )
+            return
+        try:
+            self.network.node(dst).deliver(service, payload, src)
+            self.stats.messages_delivered += 1
+        except NetworkError as exc:
+            self.stats.messages_dropped += 1
+            if on_dropped is not None:
+                on_dropped(exc)
 
-        self.scheduler.schedule(delay, deliver)
-        return delay
+    def _path_alive(self, path: list[str]) -> bool:
+        for node in path:
+            if not self.network.node(node).up:
+                return False
+        return all(link.up for link in self.network.path_links(path))
 
     def _snoop(
         self, links: list[SimLink], payload: bytes, src: str, dst: str

@@ -79,6 +79,41 @@ COHERENCE_RELEASES = "views.coherence.releases"
 COHERENCE_IMAGES_PULLED = "views.coherence.images_pulled"
 COHERENCE_IMAGES_PUSHED = "views.coherence.images_pushed"
 
+# -- Network fault surface (net/transport.py) -------------------------------
+
+NET_LINK_BYTES_CARRIED = "net.link.bytes_carried"
+NET_LINK_FRAMES_DROPPED = "net.link.frames_dropped"
+NET_MESSAGES_REROUTED = "net.messages.rerouted"
+
+# -- Recovery machinery (switchboard/rpc.py, channel.py, drbac/repository.py,
+#    psf/adaptation.py) -----------------------------------------------------
+
+RPC_WAIT_TIMEOUTS = "switchboard.rpc.wait_timeouts"
+RPC_RETRIES = "switchboard.rpc.retries"
+RPC_RETRIES_EXHAUSTED = "switchboard.rpc.retries_exhausted"
+SWB_CHANNELS_REESTABLISHED = "switchboard.channels.reestablished"
+SWB_RECONNECT_LATENCY = "switchboard.reconnect.latency"
+REPO_FAILOVERS = "drbac.repo.failovers"
+ADAPT_REPLANS = "psf.adapt.replans"
+ADAPT_REDEPLOYMENTS = "psf.adapt.redeployments"
+ADAPT_FAILURES = "psf.adapt.failures"
+
+# -- Fault injection (faults/injector.py, faults/runner.py) -----------------
+
+FAULTS_INJECTED_LINK = "faults.injected.link"
+FAULTS_INJECTED_PARTITION = "faults.injected.partition"
+FAULTS_INJECTED_NODE = "faults.injected.node"
+FAULTS_INJECTED_LATENCY = "faults.injected.latency"
+FAULTS_INJECTED_LOSS = "faults.injected.loss"
+FAULTS_INJECTED_REVOCATION = "faults.injected.revocation"
+FAULTS_RECOVERED_LINK = "faults.recovered.link"
+FAULTS_RECOVERED_PARTITION = "faults.recovered.partition"
+FAULTS_RECOVERED_NODE = "faults.recovered.node"
+FAULTS_RECOVERED_LATENCY = "faults.recovered.latency"
+FAULTS_RECOVERED_LOSS = "faults.recovered.loss"
+FAULTS_RECOVERED_REVOCATION = "faults.recovered.revocation"
+FAULTS_RECOVERY_LATENCY = "faults.recovery.latency"
+
 
 CATALOGUE: tuple[MetricSpec, ...] = (
     MetricSpec(PROOF_SEARCHES, "counter", "proof searches started"),
@@ -133,6 +168,49 @@ CATALOGUE: tuple[MetricSpec, ...] = (
     MetricSpec(COHERENCE_RELEASES, "counter", "outermost image releases"),
     MetricSpec(COHERENCE_IMAGES_PULLED, "counter", "images merged into views"),
     MetricSpec(COHERENCE_IMAGES_PUSHED, "counter", "images merged into originals"),
+    MetricSpec(NET_LINK_BYTES_CARRIED, "counter",
+               "payload bytes carried across links (per link hop)"),
+    MetricSpec(NET_LINK_FRAMES_DROPPED, "counter",
+               "frames eaten by lossy links"),
+    MetricSpec(NET_MESSAGES_REROUTED, "counter",
+               "in-flight frames re-sent after their route died"),
+    MetricSpec(RPC_WAIT_TIMEOUTS, "counter",
+               "PendingCall.wait deadlines exceeded"),
+    MetricSpec(RPC_RETRIES, "counter", "RPC frames retransmitted"),
+    MetricSpec(RPC_RETRIES_EXHAUSTED, "counter",
+               "retried calls that gave up without a response"),
+    MetricSpec(SWB_CHANNELS_REESTABLISHED, "counter",
+               "channels re-established after heartbeat loss"),
+    MetricSpec(SWB_RECONNECT_LATENCY, "histogram",
+               "virtual seconds from channel death to re-establishment"),
+    MetricSpec(REPO_FAILOVERS, "counter",
+               "repository queries answered by a replica after shard failure"),
+    MetricSpec(ADAPT_REPLANS, "counter",
+               "environment changes that triggered session re-planning"),
+    MetricSpec(ADAPT_REDEPLOYMENTS, "counter",
+               "sessions redeployed onto a new plan"),
+    MetricSpec(ADAPT_FAILURES, "counter",
+               "re-planning attempts that found no admissible plan"),
+    MetricSpec(FAULTS_INJECTED_LINK, "counter", "link faults injected"),
+    MetricSpec(FAULTS_INJECTED_PARTITION, "counter", "partition faults injected"),
+    MetricSpec(FAULTS_INJECTED_NODE, "counter", "node-crash faults injected"),
+    MetricSpec(FAULTS_INJECTED_LATENCY, "counter", "latency-spike faults injected"),
+    MetricSpec(FAULTS_INJECTED_LOSS, "counter", "loss-burst faults injected"),
+    MetricSpec(FAULTS_INJECTED_REVOCATION, "counter",
+               "revocation storms injected"),
+    MetricSpec(FAULTS_RECOVERED_LINK, "counter",
+               "link faults healed with service recovered"),
+    MetricSpec(FAULTS_RECOVERED_PARTITION, "counter",
+               "partitions healed with service recovered"),
+    MetricSpec(FAULTS_RECOVERED_NODE, "counter",
+               "node crashes recovered (restart + re-plan)"),
+    MetricSpec(FAULTS_RECOVERED_LATENCY, "counter",
+               "latency spikes ridden out"),
+    MetricSpec(FAULTS_RECOVERED_LOSS, "counter", "loss bursts ridden out"),
+    MetricSpec(FAULTS_RECOVERED_REVOCATION, "counter",
+               "revocation storms recovered by re-issuance"),
+    MetricSpec(FAULTS_RECOVERY_LATENCY, "histogram",
+               "virtual seconds from fault injection to verified recovery"),
 )
 
 

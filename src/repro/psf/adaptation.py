@@ -16,9 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from .. import obs
 from ..errors import PlanningError
+from ..obs import names as metric_names
+from .deployment import Deployment
 from .framework import PSF
-from .monitor import LinkReport
+from .monitor import LinkReport, NodeReport
 from .planner import DeploymentPlan, ServiceRequest
 
 
@@ -52,6 +55,11 @@ class ManagedSession:
     plan: DeploymentPlan
     access: Any
     use_views: bool = True
+    deployment: Optional[Deployment] = None
+    needs_redeploy: bool = False
+    """Set when this session's instances were evicted by a crash: the next
+    re-plan must deploy even if the chosen configuration matches the old
+    signature (the instances behind it no longer exist)."""
     history: list[AdaptationEvent] = field(default_factory=list)
     _listeners: list[Callable[[AdaptationEvent], None]] = field(default_factory=list)
 
@@ -72,6 +80,7 @@ class AdaptationManager:
         self.sessions: list[ManagedSession] = []
         self.events_processed = 0
         psf.monitor.on_change(self._on_environment_change)
+        psf.monitor.on_node_change(self._on_node_change)
 
     def manage(
         self, request: ServiceRequest, *, use_views: bool = True
@@ -84,6 +93,7 @@ class AdaptationManager:
             plan=plan,
             access=deployment.client_access(),
             use_views=use_views,
+            deployment=deployment,
         )
         self.sessions.append(session)
         return session
@@ -96,13 +106,32 @@ class AdaptationManager:
         for session in self.sessions:
             self._readapt(session, trigger)
 
+    def _on_node_change(self, kind: str, report: NodeReport) -> None:
+        """React to a host crash-stopping or returning.
+
+        On ``node-down`` every session first evicts the instances it had
+        on the dead host (their state is gone), which forces the follow-up
+        re-plan to deploy replacements even if the planner picks a
+        configuration with the old shape.  ``node-up`` just re-plans: the
+        returned host may be a better placement again.
+        """
+        self.events_processed += 1
+        trigger = f"{kind}:{report.name}"
+        for session in self.sessions:
+            if kind == "node-down" and session.deployment is not None:
+                if session.deployment.evict_node(report.name):
+                    session.needs_redeploy = True
+            self._readapt(session, trigger)
+
     def _readapt(self, session: ManagedSession, trigger: str) -> None:
         old_signature = plan_signature(session.plan)
+        obs.counter(metric_names.ADAPT_REPLANS).inc()
         try:
             new_plan = self.psf.planner(use_views=session.use_views).plan(
                 session.request
             )
         except PlanningError as exc:
+            obs.counter(metric_names.ADAPT_FAILURES).inc()
             session._record(
                 AdaptationEvent(
                     trigger=trigger,
@@ -114,7 +143,7 @@ class AdaptationManager:
             )
             return
         new_signature = plan_signature(new_plan)
-        if new_signature == old_signature:
+        if new_signature == old_signature and not session.needs_redeploy:
             session._record(
                 AdaptationEvent(
                     trigger=trigger,
@@ -126,7 +155,10 @@ class AdaptationManager:
             return
         deployment = self.psf.deployer.deploy(new_plan)
         session.plan = new_plan
+        session.deployment = deployment
         session.access = deployment.client_access()
+        session.needs_redeploy = False
+        obs.counter(metric_names.ADAPT_REDEPLOYMENTS).inc()
         session._record(
             AdaptationEvent(
                 trigger=trigger,

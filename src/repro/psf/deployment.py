@@ -146,6 +146,32 @@ class Deployment:
             return SwitchboardStub(pending.wait(), link.provider)
         raise DeploymentError(f"unknown link mode {link.mode!r}")
 
+    # -- crash handling ---------------------------------------------------------
+
+    def evict_node(self, node: str) -> list[str]:
+        """Drop every instance hosted on a crashed node.
+
+        Crash-stop semantics: the instances' state is gone, and their
+        exports must disappear so a restarted host does not resurrect
+        stale objects.  Returns the evicted instance ids; the adaptation
+        layer uses a non-empty result to force redeployment even when the
+        re-planned configuration looks identical on paper.
+        """
+        evicted = [
+            instance_id
+            for instance_id, instance in self.instances.items()
+            if instance.node == node
+        ]
+        runtime = self.deployer._node_runtimes.get(node)
+        for instance_id in evicted:
+            del self.instances[instance_id]
+            if runtime is not None:
+                runtime.rpc.exporter.unexport(instance_id)
+                runtime.rpc.exporter.unexport(f"{instance_id}#image")
+                runtime.switchboard.exporter.unexport(instance_id)
+                runtime.switchboard.exporter.unexport(f"{instance_id}#image")
+        return evicted
+
     # -- client side -----------------------------------------------------------
 
     def entry_link(self) -> PlannedLink:
@@ -332,9 +358,12 @@ class Deployer:
                     binding = restriction.binding or restriction.name
                     if binding not in deployment.naming:
                         deployment.naming.bind(binding, address)
-                deployment.naming.bind(
-                    IMAGE_BINDING_PREFIX + spec.represents, image_address
-                )
+                    runtime.binding_modes.setdefault(binding, link.mode)
+                image_binding = IMAGE_BINDING_PREFIX + spec.represents
+                deployment.naming.bind(image_binding, image_address)
+                # The origin port must use the channel mode the planner
+                # certified for this link, not a blanket preference.
+                runtime.binding_modes[image_binding] = link.mode
         return view_cls(runtime)
 
     def _represented_class(self, base_name: str, represents: str) -> type:

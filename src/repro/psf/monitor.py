@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from ..net.simnet import Network, SimLink
+from ..net.simnet import Network, SimLink, SimNode
 
 
 @dataclass(frozen=True, slots=True)
@@ -25,6 +25,7 @@ class LinkReport:
     bandwidth_bps: float
     secure: bool
     up: bool
+    loss_rate: float = 0.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -32,6 +33,7 @@ class NodeReport:
     name: str
     domain: str
     properties: tuple[tuple[str, object], ...]
+    up: bool = True
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,6 +45,9 @@ class EnvironmentSnapshot:
 ChangeListener = Callable[[str, LinkReport], None]
 """Called with (change kind, new link state)."""
 
+NodeChangeListener = Callable[[str, NodeReport], None]
+"""Called with (change kind: "node-down" | "node-up", new node state)."""
+
 
 class EnvironmentMonitor:
     """Watches the simulated network on behalf of the planner."""
@@ -50,22 +55,19 @@ class EnvironmentMonitor:
     def __init__(self, network: Network) -> None:
         self.network = network
         self._listeners: list[ChangeListener] = []
+        self._node_listeners: list[NodeChangeListener] = []
         self.changes_observed = 0
 
     def snapshot(self) -> EnvironmentSnapshot:
-        nodes = tuple(
-            NodeReport(
-                name=n.name,
-                domain=n.domain,
-                properties=tuple(sorted(n.properties.items())),
-            )
-            for n in self.network.nodes()
-        )
+        nodes = tuple(_node_report(n) for n in self.network.nodes())
         links = tuple(_report(l) for l in self.network.links())
         return EnvironmentSnapshot(nodes=nodes, links=links)
 
     def on_change(self, listener: ChangeListener) -> None:
         self._listeners.append(listener)
+
+    def on_node_change(self, listener: NodeChangeListener) -> None:
+        self._node_listeners.append(listener)
 
     # -- mutation entry points (the "measurement" side) ----------------------
 
@@ -89,6 +91,28 @@ class EnvironmentMonitor:
         link.up = up
         self._notify("up" if up else "down", link)
 
+    def set_link_loss(self, a: str, b: str, loss_rate: float) -> None:
+        link = self.network.link(a, b)
+        link.loss_rate = loss_rate
+        self._notify("loss", link)
+
+    def set_node_up(self, name: str, up: bool) -> None:
+        """Record a host crash-stop or restart and notify planners.
+
+        Crash faults flow through here (not by poking ``SimNode.up``
+        directly) so the adaptation layer hears about them — the same
+        contract the link mutators follow.
+        """
+        node = self.network.node(name)
+        if node.up == up:
+            return
+        node.up = up
+        self.changes_observed += 1
+        report = _node_report(node)
+        kind = "node-up" if up else "node-down"
+        for listener in list(self._node_listeners):
+            listener(kind, report)
+
     def _notify(self, kind: str, link: SimLink) -> None:
         self.changes_observed += 1
         report = _report(link)
@@ -104,4 +128,14 @@ def _report(link: SimLink) -> LinkReport:
         bandwidth_bps=link.bandwidth_bps,
         secure=link.secure,
         up=link.up,
+        loss_rate=link.loss_rate,
+    )
+
+
+def _node_report(node: SimNode) -> NodeReport:
+    return NodeReport(
+        name=node.name,
+        domain=node.domain,
+        properties=tuple(sorted(node.properties.items())),
+        up=node.up,
     )

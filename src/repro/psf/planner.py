@@ -564,7 +564,11 @@ class Planner:
                 return math.inf
             return self.network.path_delay(path, 1024)
 
-        return sorted(self.existing, key=distance)
+        # An instance stranded on a crashed host is not reusable — without
+        # this filter the "local" fast path could bind a consumer to a dead
+        # co-resident provider.
+        alive = [i for i in self.existing if self.network.node(i.node).up]
+        return sorted(alive, key=distance)
 
     def _candidate_nodes(
         self, consumer_node: str, component: ComponentType | None = None
@@ -595,7 +599,10 @@ class Planner:
             )
             return (to_consumer + to_upstream, to_consumer)
 
-        names = [n.name for n in self.network.nodes()]
+        # Crash-stopped hosts can neither run components nor be reached;
+        # excluding them here is what makes crash-triggered re-planning
+        # land the replacement somewhere alive.
+        names = [n.name for n in self.network.nodes() if n.up]
         names.sort(key=key)
         return names
 
@@ -635,6 +642,8 @@ class Planner:
 
     def _node_authorizes(self, component: ComponentType, node_name: str) -> bool:
         node = self.network.node(node_name)
+        if not node.up:
+            return False
         guard = self.guards.get(node.domain)
         if guard is None:
             return False

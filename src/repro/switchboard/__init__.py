@@ -15,6 +15,7 @@ from .authorizer import (
 from .channel import (
     ChannelState,
     ChannelStats,
+    ChannelSupervisor,
     PendingConnection,
     SwitchboardConnection,
     SwitchboardEndpoint,
@@ -43,6 +44,7 @@ __all__ = [
     "Authorizer",
     "ChannelState",
     "ChannelStats",
+    "ChannelSupervisor",
     "DEFAULT_CHUNK_SIZE",
     "IncomingStream",
     "OutgoingStream",

@@ -46,9 +46,11 @@ from ..errors import (
     ChannelClosedError,
     CipherError,
     HandshakeError,
+    NetworkError,
     RpcAbortedError,
     SwitchboardError,
 )
+from ..faults.retry import RetryPolicy
 from ..net.transport import Transport
 from .authorizer import AuthorizationMonitor, AuthorizationSuite
 from .rpc import ObjectExporter, PendingCall, decode_frame, encode_frame
@@ -81,6 +83,10 @@ class ChannelStats:
     tamper_rejected: int = 0
     heartbeats_sent: int = 0
     heartbeats_answered: int = 0
+    frames_unroutable: int = 0
+    """Frames the network refused at send time (link down, peer crashed).
+    The channel treats these like in-flight loss: heartbeats, not the
+    sender, decide when the channel is dead."""
 
 
 class SwitchboardConnection:
@@ -275,20 +281,27 @@ class SwitchboardConnection:
         if obs.is_enabled():
             obs.counter(metric_names.SWB_FRAMES_SENT).inc()
             obs.counter(metric_names.SWB_BYTES_SENT).inc(len(frame))
-        self.endpoint.transport.send(
-            self.endpoint.node_name,
-            self.peer_node,
-            SWITCHBOARD_SERVICE,
-            encode_frame(
-                {
-                    "type": "data",
-                    "conn_id": self.conn_id,
-                    "seq": seq,
-                    "from_initiator": self.is_initiator,
-                    "frame": frame.hex(),
-                }
-            ),
-        )
+        try:
+            self.endpoint.transport.send(
+                self.endpoint.node_name,
+                self.peer_node,
+                SWITCHBOARD_SERVICE,
+                encode_frame(
+                    {
+                        "type": "data",
+                        "conn_id": self.conn_id,
+                        "seq": seq,
+                        "from_initiator": self.is_initiator,
+                        "frame": frame.hex(),
+                    }
+                ),
+            )
+        except NetworkError:
+            # No route right now (fault injection).  Equivalent to the
+            # frame being lost in flight: the peer's sequence check
+            # tolerates the gap and heartbeat liveness detects a channel
+            # that stays unreachable.
+            self.stats.frames_unroutable += 1
 
     def _associated_data(self, *, sender_is_initiator: bool, seq: int) -> bytes:
         direction = b"i2r" if sender_is_initiator else b"r2i"
@@ -585,12 +598,17 @@ class SwitchboardEndpoint:
 
         def reject(reason: str) -> None:
             obs.counter(metric_names.SWB_HANDSHAKES_REJECTED).inc()
-            self.transport.send(
-                self.node_name,
-                outer["reply_to"],
-                SWITCHBOARD_SERVICE,
-                encode_frame({"type": "reject", "conn_id": conn_id, "reason": reason}),
-            )
+            try:
+                self.transport.send(
+                    self.node_name,
+                    outer["reply_to"],
+                    SWITCHBOARD_SERVICE,
+                    encode_frame(
+                        {"type": "reject", "conn_id": conn_id, "reason": reason}
+                    ),
+                )
+            except NetworkError:
+                pass  # initiator unreachable; its dial simply never resolves
 
         suite = self._listeners.get(outer.get("service", ""))
         if suite is None:
@@ -630,24 +648,31 @@ class SwitchboardEndpoint:
                 conn_id, "responder", dh.public_value, [outer["nonce"], nonce]
             )
         )
-        self.transport.send(
-            self.node_name,
-            outer["reply_to"],
-            SWITCHBOARD_SERVICE,
-            encode_frame(
-                {
-                    "type": "welcome",
-                    "conn_id": conn_id,
-                    "reply_to": self.node_name,
-                    "identity": public_identity_to_wire(suite.identity.public),
-                    "dh": f"{dh.public_value:x}",
-                    "client_nonce": outer["nonce"],
-                    "nonce": nonce,
-                    "credentials": [delegation_to_wire(c) for c in suite.credentials],
-                    "sig": signature.hex(),
-                }
-            ),
-        )
+        try:
+            self.transport.send(
+                self.node_name,
+                outer["reply_to"],
+                SWITCHBOARD_SERVICE,
+                encode_frame(
+                    {
+                        "type": "welcome",
+                        "conn_id": conn_id,
+                        "reply_to": self.node_name,
+                        "identity": public_identity_to_wire(suite.identity.public),
+                        "dh": f"{dh.public_value:x}",
+                        "client_nonce": outer["nonce"],
+                        "nonce": nonce,
+                        "credentials": [
+                            delegation_to_wire(c) for c in suite.credentials
+                        ],
+                        "sig": signature.hex(),
+                    }
+                ),
+            )
+        except NetworkError:
+            # The initiator became unreachable mid-handshake; discard the
+            # half-open end rather than keep a channel it never learns of.
+            connection._teardown(ChannelState.DEAD)
 
     def _on_welcome(self, outer: dict, sender: str) -> None:
         dial = self._dials.pop(outer.get("conn_id", ""), None)
@@ -741,3 +766,145 @@ class PendingConnection:
             if steps > max_events:
                 raise HandshakeError("handshake did not complete")
         return self.connection
+
+
+class ChannelSupervisor:
+    """Keeps one logical channel alive across faults.
+
+    Wraps an endpoint→service connection with heartbeat liveness and
+    automatic re-establishment: when heartbeats declare the channel
+    ``DEAD`` (link down, domain partition, peer crash), the supervisor
+    redials on a :class:`~repro.faults.retry.RetryPolicy` schedule until
+    a fresh handshake succeeds, then resumes heartbeats on the new
+    connection.  Every step runs on the virtual clock, so supervised
+    recovery is deterministic under a seeded fault plan.
+
+    The supervisor deliberately does **not** replay in-flight calls: the
+    dead channel aborted them with
+    :class:`~repro.errors.RpcAbortedError`, and whether re-invocation is
+    safe is an application property (see
+    :meth:`PlainRpcEndpoint.call_with_retry` for the at-least-once
+    variant).
+    """
+
+    def __init__(
+        self,
+        endpoint: SwitchboardEndpoint,
+        remote_node: str,
+        remote_service: str,
+        suite: AuthorizationSuite,
+        *,
+        heartbeat_interval: float = 0.5,
+        max_missed: int = 3,
+        policy: RetryPolicy | None = None,
+        on_established: Callable[[SwitchboardConnection, bool], None] | None = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.remote_node = remote_node
+        self.remote_service = remote_service
+        self.suite = suite
+        self.heartbeat_interval = heartbeat_interval
+        self.max_missed = max_missed
+        self.policy = policy or RetryPolicy.exponential(
+            base_delay=heartbeat_interval,
+            max_attempts=8,
+            max_delay=4 * heartbeat_interval,
+        )
+        self.on_established = on_established
+        """Called as ``on_established(connection, is_reconnect)`` after
+        every successful (re-)establishment — the hook for re-exporting
+        session state onto the fresh channel."""
+        self.connection: SwitchboardConnection | None = None
+        self.reconnects = 0
+        self.gave_up = False
+        self._stopped = False
+        self._died_at: float | None = None
+
+    @property
+    def _scheduler(self):
+        return self.endpoint.transport.scheduler
+
+    @property
+    def healthy(self) -> bool:
+        return (
+            self.connection is not None
+            and self.connection.state is ChannelState.OPEN
+        )
+
+    def start(self) -> "ChannelSupervisor":
+        """Dial the initial connection and begin supervising it."""
+        self._dial(is_reconnect=False)
+        return self
+
+    def stop(self) -> None:
+        """End supervision and close the live connection, if any."""
+        self._stopped = True
+        if self.connection is not None and self.connection.state in (
+            ChannelState.OPEN,
+            ChannelState.REVOKED,
+        ):
+            self.connection.close()
+        self.connection = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _dial(self, *, is_reconnect: bool) -> None:
+        schedule = self.policy.schedule()
+
+        def attempt() -> None:
+            if self._stopped:
+                return
+            try:
+                pending = self.endpoint.connect(
+                    self.remote_node, self.remote_service, self.suite
+                )
+            except NetworkError:
+                pending = None  # no route yet; retry on the schedule
+            self._scheduler.schedule(
+                self.heartbeat_interval, lambda: settle(pending)
+            )
+
+        def settle(pending: PendingConnection | None) -> None:
+            if self._stopped:
+                return
+            if pending is not None and pending.done:
+                try:
+                    self._adopt(pending.connection, is_reconnect=is_reconnect)
+                    return
+                except SwitchboardError:
+                    pass  # handshake rejected; fall through to retry
+            wait = schedule.next_delay()
+            if wait is None:
+                self.gave_up = True
+                return
+            self._scheduler.schedule(wait, attempt)
+
+        attempt()
+
+    def _adopt(
+        self, connection: SwitchboardConnection, *, is_reconnect: bool
+    ) -> None:
+        self.connection = connection
+        connection.on_trust_change(self._on_channel_event)
+        connection.start_heartbeats(
+            self.heartbeat_interval, max_missed=self.max_missed
+        )
+        if is_reconnect:
+            self.reconnects += 1
+            obs.counter(metric_names.SWB_CHANNELS_REESTABLISHED).inc()
+            if self._died_at is not None:
+                obs.histogram(metric_names.SWB_RECONNECT_LATENCY).observe(
+                    self._scheduler.now() - self._died_at
+                )
+                self._died_at = None
+        if self.on_established is not None:
+            self.on_established(connection, is_reconnect)
+
+    def _on_channel_event(self, reason: str) -> None:
+        connection = self.connection
+        if self._stopped or connection is None:
+            return
+        if connection.state is ChannelState.DEAD:
+            self.connection = None
+            self._died_at = self._scheduler.now()
+            self._dial(is_reconnect=True)

@@ -23,9 +23,12 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from ..errors import NetworkError, SwitchboardError
+from .. import obs
+from ..errors import NetworkError, RpcTimeoutError, SwitchboardError
+from ..faults.retry import RetryPolicy
 from ..net.events import EventScheduler
 from ..net.transport import Transport
+from ..obs import names as metric_names
 
 _call_ids = itertools.count(1)
 
@@ -74,12 +77,28 @@ class PendingCall:
             raise RemoteError(self._error)
         return self._value
 
-    def wait(self, *, max_events: int = 100_000) -> Any:
-        """Pump the scheduler until this call completes, then return."""
+    def wait(
+        self, *, timeout: float | None = None, max_events: int = 100_000
+    ) -> Any:
+        """Pump the scheduler until this call completes, then return.
+
+        ``timeout`` bounds the wait in *virtual* seconds: when the
+        scheduler advances past the budget without a result, the wait
+        raises a typed :class:`~repro.errors.RpcTimeoutError` instead of
+        blocking until the event queue drains (which, under fault
+        injection, may be never for a call whose peer crashed).  A late
+        response can still complete the call afterwards.
+        """
         if self._scheduler is None:
             raise SwitchboardError("no scheduler attached; cannot wait")
+        deadline = None if timeout is None else self._scheduler.now() + timeout
         steps = 0
         while not self.done:
+            if deadline is not None and self._scheduler.now() >= deadline:
+                obs.counter(metric_names.RPC_WAIT_TIMEOUTS).inc()
+                raise RpcTimeoutError(
+                    f"call {self.method!r} still pending after {timeout}s"
+                )
             if not self._scheduler.step():
                 raise SwitchboardError(
                     f"event queue drained before call {self.method!r} completed"
@@ -155,9 +174,21 @@ class PlainRpcEndpoint:
             "method": method,
             "args": args or [],
         }
+
+        def dropped(exc: Exception) -> None:
+            # Fail fast: a request that died in flight (link down, node
+            # crashed) can never produce a response; unblock the caller.
+            if not pending.done:
+                self._pending.pop(call_id, None)
+                pending.abort(exc)
+
         try:
             self.transport.send(
-                self.node_name, remote_node, PLAIN_RPC_SERVICE, encode_frame(frame)
+                self.node_name,
+                remote_node,
+                PLAIN_RPC_SERVICE,
+                encode_frame(frame),
+                on_dropped=dropped,
             )
         except NetworkError as exc:
             del self._pending[call_id]
@@ -178,15 +209,25 @@ class PlainRpcEndpoint:
         *,
         timeout: float = 1.0,
         retries: int = 3,
+        policy: RetryPolicy | None = None,
     ) -> PendingCall:
-        """At-least-once invocation over lossy links.
+        """At-least-once invocation over lossy or failing links.
 
         Re-sends the same call (same call id, so a late original response
-        still completes it) when no response arrives within ``timeout``.
+        still completes it) when no response arrives in time.  Pacing
+        comes from a :class:`~repro.faults.retry.RetryPolicy` — pass one
+        for exponential backoff with seeded jitter and a deadline; the
+        default reproduces the legacy shape (``retries`` re-sends every
+        ``timeout`` seconds).  A transmission that fails outright (link
+        down, partition) is treated like a lost frame and retried on the
+        same schedule, which is what lets callers ride out a fault window.
         The remote method may execute more than once — callers pick this
         for idempotent operations; exactly-once semantics belong to the
         Switchboard layer's sequencing.
         """
+        if policy is None:
+            policy = RetryPolicy.fixed(timeout, retries)
+        schedule = policy.schedule()
         call_id = next(_call_ids)
         pending = PendingCall(
             call_id=call_id, method=method, _scheduler=self.transport.scheduler
@@ -202,32 +243,41 @@ class PlainRpcEndpoint:
                 "args": args or [],
             }
         )
-        attempts_left = retries
 
-        def transmit() -> None:
+        def give_up() -> None:
+            self._pending.pop(call_id, None)
+            obs.counter(metric_names.RPC_RETRIES_EXHAUSTED).inc()
+            pending.fail(
+                f"no response from {remote_node}/{target}.{method} after "
+                f"{schedule.attempts_made} attempts"
+            )
+
+        def transmit(*, is_retry: bool) -> None:
+            if is_retry:
+                obs.counter(metric_names.RPC_RETRIES).inc()
             try:
                 self.transport.send(self.node_name, remote_node, PLAIN_RPC_SERVICE, frame)
-            except NetworkError as exc:
-                self._pending.pop(call_id, None)
-                pending.fail(str(exc))
-                return
-            self.transport.scheduler.schedule(timeout, check)
+            except NetworkError:
+                # No route right now; keep the schedule ticking — the
+                # fault may heal before the attempts run out.
+                pass
+            wait = schedule.next_delay()
+            if wait is None:
+                # That was the final attempt: give its response one more
+                # interval to land, then give up.
+                self.transport.scheduler.schedule(policy.max_delay, finalize)
+            else:
+                self.transport.scheduler.schedule(wait, check)
 
         def check() -> None:
-            nonlocal attempts_left
-            if pending.done:
-                return
-            if attempts_left <= 0:
-                self._pending.pop(call_id, None)
-                pending.fail(
-                    f"no response from {remote_node}/{target}.{method} after "
-                    f"{retries + 1} attempts"
-                )
-                return
-            attempts_left -= 1
-            transmit()
+            if not pending.done:
+                transmit(is_retry=True)
 
-        transmit()
+        def finalize() -> None:
+            if not pending.done:
+                give_up()
+
+        transmit(is_retry=False)
         return pending
 
     # -- server side ---------------------------------------------------------
@@ -250,9 +300,15 @@ class PlainRpcEndpoint:
             )
         except Exception as exc:  # noqa: BLE001 - errors cross the wire as text
             response["error"] = f"{type(exc).__name__}: {exc}"
-        self.transport.send(
-            self.node_name, frame["reply_to"], PLAIN_RPC_SERVICE, encode_frame(response)
-        )
+        try:
+            self.transport.send(
+                self.node_name, frame["reply_to"], PLAIN_RPC_SERVICE, encode_frame(response)
+            )
+        except NetworkError:
+            # The caller's route died while we serviced the request; an
+            # unroutable response is indistinguishable from a lost frame,
+            # and the caller's retry machinery owns the recovery.
+            pass
 
     def _complete(self, frame: dict) -> None:
         pending = self._pending.pop(frame["call_id"], None)

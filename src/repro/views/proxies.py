@@ -88,6 +88,9 @@ class ViewRuntime:
     switchboard: Optional[SwitchboardEndpoint] = None
     suite: Optional[AuthorizationSuite] = None
     local_objects: dict[str, Any] = field(default_factory=dict)
+    binding_modes: dict[str, str] = field(default_factory=dict)
+    """Per-binding channel mode ("rmi" | "switchboard") decided by the
+    planner; bindings absent here fall back to preferring Switchboard."""
     _connections: dict[str, SwitchboardConnection] = field(default_factory=dict)
 
     def local_object(self, name: str) -> Any:
@@ -138,6 +141,12 @@ class ViewRuntime:
         binding = IMAGE_BINDING_PREFIX + represents
         if binding not in self.naming:
             return None
+        mode = self.binding_modes.get(binding)
+        if mode == "rmi" and self.rpc is not None:
+            # The planner judged the path safe for a bulk channel
+            # (secure links or encrypted payload); don't pay for a
+            # Switchboard handshake it didn't ask for.
+            return self.rmi_stub(binding)  # type: ignore[return-value]
         if self.switchboard is not None and self.suite is not None:
             return self.switchboard_stub(binding)  # type: ignore[return-value]
         if self.rpc is not None:

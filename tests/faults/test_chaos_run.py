@@ -1,0 +1,62 @@
+"""End-to-end chaos acceptance: recovery per fault class, determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import ChaosRunner, FaultKind
+
+
+def _injected_classes(report):
+    return {
+        FaultKind(entry["kind"]).fault_class
+        for entry in report.injections
+        if entry["phase"] == "inject"
+    }
+
+
+@pytest.fixture(scope="module")
+def seed7_report(key_store):
+    runner = ChaosRunner(seed=7, duration=5, key_store=key_store)
+    return runner.run()
+
+
+class TestAcceptance:
+    def test_no_invariant_violations(self, seed7_report):
+        assert seed7_report.violations == []
+        assert seed7_report.ok
+
+    def test_every_injected_class_recovers(self, seed7_report):
+        for fault_class in _injected_classes(seed7_report):
+            assert seed7_report.recoveries.get(fault_class, 0) >= 1, fault_class
+
+    def test_core_fault_classes_exercised(self, seed7_report):
+        injected = _injected_classes(seed7_report)
+        assert {"link", "partition", "node", "revocation"} <= injected
+
+    def test_no_probe_failures(self, seed7_report):
+        assert all(p["ok"] for p in seed7_report.probes)
+
+    def test_report_json_round_trips(self, seed7_report):
+        payload = json.loads(seed7_report.to_json())
+        assert payload["seed"] == 7
+        assert payload["violations"] == []
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_in_process(self, key_store, seed7_report):
+        again = ChaosRunner(seed=7, duration=5, key_store=key_store).run()
+        assert again.to_json() == seed7_report.to_json()
+
+    def test_different_seed_differs(self, key_store, seed7_report):
+        other = ChaosRunner(seed=8, duration=5, key_store=key_store).run()
+        assert other.to_json() != seed7_report.to_json()
+
+
+class TestValidation:
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(FaultError, match="duration"):
+            ChaosRunner(seed=1, duration=0)

@@ -1,0 +1,113 @@
+"""Invariant suite and the prebuilt end-of-run checks."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.faults import InvariantSuite
+from repro.faults.invariants import (
+    channels_settled,
+    pending_calls_settled,
+    sessions_on_live_nodes,
+    views_coherent,
+)
+
+
+def _call(done, call_id=1, method="m"):
+    return SimpleNamespace(done=done, call_id=call_id, method=method)
+
+
+class TestSuite:
+    def test_empty_suite_holds(self):
+        assert InvariantSuite().run() == []
+
+    def test_recorded_violations_surface(self):
+        suite = InvariantSuite()
+        suite.record("revocation-enforced", "stale proof survived")
+        violations = suite.run()
+        assert len(violations) == 1
+        assert violations[0].invariant == "revocation-enforced"
+        assert violations[0].to_dict()["detail"] == "stale proof survived"
+
+    def test_checks_merge_with_recorded(self):
+        suite = InvariantSuite()
+        suite.record("online", "seen live")
+        suite.add_check("sweep", lambda: ["left behind"])
+        assert [v.invariant for v in suite.run()] == ["online", "sweep"]
+
+
+class TestPendingCalls:
+    def test_settled_world_passes(self):
+        endpoint = SimpleNamespace(node_name="n1", _pending={1: _call(done=True)})
+        assert pending_calls_settled([endpoint])() == []
+
+    def test_hanging_call_reported(self):
+        endpoint = SimpleNamespace(
+            node_name="n1", _pending={7: _call(done=False, call_id=7, method="fetch")}
+        )
+        details = pending_calls_settled([endpoint])()
+        assert len(details) == 1
+        assert "fetch" in details[0] and "n1" in details[0]
+
+
+class TestChannels:
+    def test_hanging_channel_call_reported(self):
+        connection = SimpleNamespace(
+            conn_id="c-1", _pending={3: _call(done=False, call_id=3)}
+        )
+        endpoint = SimpleNamespace(
+            node_name="n2", connections=lambda: [connection]
+        )
+        details = channels_settled([endpoint])()
+        assert len(details) == 1
+        assert "c-1" in details[0]
+
+
+class TestSessions:
+    def _network(self, down=()):
+        nodes = {}
+
+        def node(name):
+            if name not in nodes:
+                nodes[name] = SimpleNamespace(name=name, up=name not in down)
+            return nodes[name]
+
+        return SimpleNamespace(node=node)
+
+    def _session(self, placements, needs_redeploy=False):
+        components = [
+            SimpleNamespace(component=SimpleNamespace(name=c), node=n)
+            for c, n in placements
+        ]
+        return SimpleNamespace(
+            needs_redeploy=needs_redeploy,
+            plan=SimpleNamespace(components=components),
+        )
+
+    def test_live_sessions_pass(self):
+        check = sessions_on_live_nodes(
+            self._network(), [self._session([("Enc", "n1")])]
+        )
+        assert check() == []
+
+    def test_dead_host_reported(self):
+        check = sessions_on_live_nodes(
+            self._network(down={"n1"}), [self._session([("Enc", "n1")])]
+        )
+        details = check()
+        assert len(details) == 1 and "n1" in details[0]
+
+    def test_unredeployed_eviction_reported(self):
+        check = sessions_on_live_nodes(
+            self._network(), [self._session([], needs_redeploy=True)]
+        )
+        assert check() == ["session[0] evicted instances never redeployed"]
+
+
+class TestViewCoherence:
+    def test_agreement_passes(self):
+        assert views_coherent("v", lambda: [1], lambda: [1])() == []
+
+    def test_divergence_reported(self):
+        details = views_coherent("v", lambda: [1], lambda: [2])()
+        assert len(details) == 1 and details[0].startswith("v:")

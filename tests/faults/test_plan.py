@@ -1,0 +1,109 @@
+"""FaultEvent / FaultPlan / seeded chaos generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultEvent, FaultKind, FaultPlan, generate_chaos_plan
+
+LINKS = (("ny-gw", "sd-gw"), ("ny-gw", "se-gw"))
+
+
+class TestFaultEvent:
+    def test_rejects_negative_time(self):
+        with pytest.raises(FaultError, match="past"):
+            FaultEvent(at=-1.0, kind=FaultKind.LINK_DOWN)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(FaultError, match="duration"):
+            FaultEvent(at=1.0, kind=FaultKind.LINK_DOWN, duration=-0.5)
+
+    def test_ends_at(self):
+        event = FaultEvent(at=2.0, kind=FaultKind.NODE_CRASH, duration=1.5)
+        assert event.ends_at == 3.5
+
+    def test_to_dict_sorts_params(self):
+        event = FaultEvent(
+            at=1.0, kind=FaultKind.LOSS_BURST,
+            params={"rate": 0.3, "b": "y", "a": "x"},
+        )
+        assert list(event.to_dict()["params"]) == ["a", "b", "rate"]
+
+    def test_fault_classes_cover_every_kind(self):
+        assert {k.fault_class for k in FaultKind} == {
+            "link", "partition", "node", "latency", "loss", "revocation",
+        }
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan()
+        plan.add(FaultEvent(at=5.0, kind=FaultKind.LINK_DOWN))
+        plan.add(FaultEvent(at=1.0, kind=FaultKind.NODE_CRASH))
+        assert [e.at for e in plan] == [1.0, 5.0]
+
+    def test_horizon_is_latest_heal(self):
+        plan = FaultPlan([
+            FaultEvent(at=1.0, kind=FaultKind.LINK_DOWN, duration=4.0),
+            FaultEvent(at=3.0, kind=FaultKind.NODE_CRASH, duration=0.5),
+        ])
+        assert plan.horizon == 5.0
+
+    def test_by_class_counts(self):
+        plan = FaultPlan([
+            FaultEvent(at=1.0, kind=FaultKind.LINK_DOWN),
+            FaultEvent(at=2.0, kind=FaultKind.LINK_DOWN),
+            FaultEvent(at=3.0, kind=FaultKind.REVOKE_STORM),
+        ])
+        assert plan.by_class() == {"link": 2, "revocation": 1}
+
+
+class TestChaosGeneration:
+    def test_rejects_bad_duration(self):
+        with pytest.raises(FaultError, match="duration"):
+            generate_chaos_plan(seed=1, duration=0, links=LINKS)
+
+    def test_rejects_empty_links(self):
+        with pytest.raises(FaultError, match="link"):
+            generate_chaos_plan(seed=1, duration=5, links=())
+
+    def test_same_seed_same_plan(self):
+        kwargs = dict(
+            seed=11, duration=20, links=LINKS,
+            domains=("SD",), crash_nodes=("n1",), credential_ids=("1", "11"),
+        )
+        a = generate_chaos_plan(**kwargs)
+        b = generate_chaos_plan(**kwargs)
+        assert a.to_list() == b.to_list()
+
+    def test_different_seeds_differ(self):
+        a = generate_chaos_plan(seed=1, duration=20, links=LINKS)
+        b = generate_chaos_plan(seed=2, duration=20, links=LINKS)
+        assert a.to_list() != b.to_list()
+
+    def test_every_requested_class_present(self):
+        plan = generate_chaos_plan(
+            seed=3, duration=10, links=LINKS,
+            domains=("SD",), crash_nodes=("n1",), credential_ids=("1",),
+        )
+        assert set(plan.by_class()) == {
+            "link", "partition", "node", "latency", "loss", "revocation",
+        }
+
+    def test_skipped_classes_absent(self):
+        plan = generate_chaos_plan(seed=3, duration=10, links=LINKS)
+        assert set(plan.by_class()) == {"link", "latency", "loss"}
+
+    def test_faults_heal_within_duration(self):
+        plan = generate_chaos_plan(
+            seed=5, duration=30, links=LINKS,
+            domains=("SD",), crash_nodes=("n1",), credential_ids=("1",),
+        )
+        for event in plan:
+            assert event.ends_at <= 0.81 * 30
+
+    def test_intensity_scales_rounds(self):
+        calm = generate_chaos_plan(seed=7, duration=40, links=LINKS)
+        wild = generate_chaos_plan(seed=7, duration=40, links=LINKS, intensity=3.0)
+        assert len(wild) > len(calm)

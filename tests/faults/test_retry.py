@@ -1,0 +1,86 @@
+"""RetryPolicy / RetrySchedule: pacing, jitter determinism, deadlines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import RetryPolicy
+
+
+class TestPolicyValidation:
+    def test_rejects_nonpositive_base_delay(self):
+        with pytest.raises(ValueError, match="base_delay"):
+            RetryPolicy(base_delay=0)
+
+    def test_rejects_sub_one_multiplier(self):
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_full_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+
+
+class TestDelaySequences:
+    def test_fixed_reproduces_legacy_shape(self):
+        policy = RetryPolicy.fixed(1.0, 3)
+        assert policy.delays() == [1.0, 1.0, 1.0]
+        assert policy.max_attempts == 4
+
+    def test_exponential_doubles_and_clamps(self):
+        policy = RetryPolicy.exponential(
+            base_delay=0.5, max_attempts=6, max_delay=3.0, jitter=0.0
+        )
+        assert policy.delays() == [0.5, 1.0, 2.0, 3.0, 3.0]
+
+    def test_deadline_caps_total_waiting(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=2.0, max_attempts=10, deadline=4.0
+        )
+        delays = policy.delays()
+        # 1 + 2 = 3 fits; the next wait (4) would overshoot the deadline.
+        assert delays == [1.0, 2.0]
+
+    def test_single_attempt_policy_never_waits(self):
+        assert RetryPolicy(max_attempts=1).delays() == []
+
+
+class TestJitterDeterminism:
+    def test_same_seed_same_delays(self):
+        policy = RetryPolicy.exponential(jitter=0.3, seed=42)
+        assert policy.delays() == policy.delays()
+
+    def test_different_seeds_differ(self):
+        a = RetryPolicy.exponential(jitter=0.3, seed=1).delays()
+        b = RetryPolicy.exponential(jitter=0.3, seed=2).delays()
+        assert a != b
+
+    def test_jitter_stays_within_spread(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=1.0, max_delay=1.0,
+            max_attempts=50, jitter=0.25, seed=3,
+        )
+        for delay in policy.delays():
+            assert 0.75 <= delay <= 1.25
+
+
+class TestSchedule:
+    def test_attempt_accounting(self):
+        schedule = RetryPolicy.fixed(0.5, 2).schedule()
+        assert schedule.attempts_made == 1
+        assert not schedule.exhausted
+        assert schedule.next_delay() == 0.5
+        assert schedule.next_delay() == 0.5
+        assert schedule.exhausted
+        assert schedule.next_delay() is None
+        assert schedule.attempts_made == 3
+
+    def test_schedules_are_independent(self):
+        policy = RetryPolicy.exponential(jitter=0.2, seed=9)
+        first = list(policy.schedule())
+        second = list(policy.schedule())
+        assert first == second

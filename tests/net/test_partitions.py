@@ -1,0 +1,142 @@
+"""Partition semantics: isolation, clean heal, and loss accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LinkDownError
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.net import EventScheduler, Network, Transport
+from repro.psf.monitor import EnvironmentMonitor
+
+
+def make_world(*, loss_seed: int = 7):
+    net = Network()
+    net.add_node("a1", domain="A")
+    net.add_node("a2", domain="A")
+    net.add_node("b1", domain="B")
+    net.add_node("b2", domain="B")
+    net.add_link("a1", "a2", latency_s=0.001)
+    net.add_link("b1", "b2", latency_s=0.001)
+    net.add_link("a1", "b1", latency_s=0.05)
+    net.add_link("a2", "b2", latency_s=0.05)
+    scheduler = EventScheduler()
+    transport = Transport(net, scheduler, loss_seed=loss_seed)
+    monitor = EnvironmentMonitor(net)
+    injector = FaultInjector(scheduler, monitor)
+    inbox = []
+    for node in net.nodes():
+        node.bind("svc", lambda payload, sender: inbox.append((payload, sender)))
+    return net, scheduler, transport, injector, inbox
+
+
+def partition(domain, at, duration):
+    return FaultPlan([
+        FaultEvent(at=at, kind=FaultKind.PARTITION, duration=duration,
+                   params={"domain": domain}),
+    ])
+
+
+class TestIsolation:
+    def test_cross_domain_sends_fail_fast(self):
+        net, scheduler, transport, injector, inbox = make_world()
+        injector.arm(partition("A", at=1.0, duration=2.0))
+        scheduler.run_until(1.5)
+        with pytest.raises(LinkDownError):
+            transport.send("a1", "b1", "svc", b"x")
+        with pytest.raises(LinkDownError):
+            transport.send("b2", "a2", "svc", b"x")
+
+    def test_intra_domain_traffic_unaffected(self):
+        net, scheduler, transport, injector, inbox = make_world()
+        injector.arm(partition("A", at=1.0, duration=2.0))
+        scheduler.run_until(1.5)
+        transport.send("a1", "a2", "svc", b"local-a")
+        transport.send("b1", "b2", "svc", b"local-b")
+        scheduler.run_until(2.0)
+        assert [p for p, _ in inbox] == [b"local-a", b"local-b"]
+
+    def test_in_flight_frame_dropped_when_partition_lands(self):
+        net, scheduler, transport, injector, inbox = make_world()
+        # Frame departs at t=0 with 50ms of flight time; the partition
+        # lands at 10ms, under the frame, severing every boundary link so
+        # no reroute can save it.
+        drops = []
+        transport.send("a1", "b1", "svc", b"doomed", on_dropped=drops.append)
+        injector.arm(partition("A", at=0.01, duration=1.0))
+        scheduler.run_until(0.5)
+        assert inbox == []
+        assert len(drops) == 1
+        assert transport.stats.messages_dropped == 1
+
+
+class TestCleanHeal:
+    def test_traffic_resumes_after_heal(self):
+        net, scheduler, transport, injector, inbox = make_world()
+        injector.arm(partition("A", at=1.0, duration=2.0))
+        scheduler.run_until(5.0)
+        assert net.link("a1", "b1").up and net.link("a2", "b2").up
+        transport.send("a1", "b1", "svc", b"hello-again")
+        scheduler.run_until(6.0)
+        assert inbox == [(b"hello-again", "a1")]
+
+    def test_heal_leaves_no_residual_state(self):
+        net, scheduler, transport, injector, inbox = make_world()
+        before = {link.endpoints: link.up for link in net.links()}
+        injector.arm(partition("A", at=1.0, duration=1.0))
+        scheduler.run_until(5.0)
+        after = {link.endpoints: link.up for link in net.links()}
+        assert after == before
+        phases = [entry["phase"] for entry in injector.log]
+        assert phases.count("inject") == phases.count("heal") == 1
+
+
+class TestLossAccounting:
+    def _burst(self, a, b, rate, at=0.0, duration=60.0):
+        return FaultPlan([
+            FaultEvent(at=at, kind=FaultKind.LOSS_BURST, duration=duration,
+                       params={"a": a, "b": b, "rate": rate}),
+        ])
+
+    def test_total_loss_charges_bytes_but_drops_frames(self):
+        net, scheduler, transport, injector, inbox = make_world()
+        injector.arm(self._burst("a1", "b1", 1.0, at=0.5))
+        scheduler.run_until(1.0)
+        for _ in range(5):
+            transport.send("a1", "b1", "svc", b"12345678")
+        scheduler.run_until(2.0)
+        link = net.link("a1", "b1")
+        # Bytes are charged at send time — the link carried the frame up
+        # to its drop point — while delivery never happens.
+        assert link.bytes_carried == 5 * 8
+        assert link.frames_dropped == 5
+        assert transport.stats.messages_lost == 5
+        assert inbox == []
+
+    def test_partial_loss_conserves_frames(self):
+        net, scheduler, transport, injector, inbox = make_world(loss_seed=42)
+        injector.arm(self._burst("a1", "b1", 0.4, at=0.5))
+        scheduler.run_until(1.0)
+        sent = 30
+        for _ in range(sent):
+            transport.send("a1", "b1", "svc", b"payload")
+        scheduler.run_until(10.0)
+        link = net.link("a1", "b1")
+        # Single-link path: every frame either arrives or is counted lost.
+        assert link.frames_dropped == transport.stats.messages_lost
+        assert transport.stats.messages_delivered + transport.stats.messages_lost == sent
+        assert 0 < transport.stats.messages_lost < sent
+        assert link.bytes_carried == sent * len(b"payload")
+
+    def test_loss_accounting_is_deterministic_per_seed(self):
+        outcomes = []
+        for _ in range(2):
+            net, scheduler, transport, injector, inbox = make_world(loss_seed=9)
+            injector.arm(self._burst("a1", "b1", 0.5, at=0.0))
+            for _ in range(20):
+                transport.send("a1", "b1", "svc", b"x" * 16)
+            scheduler.run_until(10.0)
+            outcomes.append(
+                (net.link("a1", "b1").frames_dropped, len(inbox))
+            )
+        assert outcomes[0] == outcomes[1]

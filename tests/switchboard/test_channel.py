@@ -213,9 +213,11 @@ class TestHeartbeats:
         conn, _ = _open_channel(engine, client_ep, server_ep)
         conn.start_heartbeats(1.0, max_missed=3)
         transport.network.link("cnode", "snode").up = False
-        # Sends now fail; run the clock forward and expect DEAD.
-        with pytest.raises(Exception):
-            transport.scheduler.run_until(10.0)
+        # Pings become unroutable (counted as loss, never raising into the
+        # scheduler); missed pongs flip the channel to DEAD.
+        transport.scheduler.run_until(10.0)
+        assert conn.state is ChannelState.DEAD
+        assert conn.stats.frames_unroutable > 0
 
 
 class TestContinuousAuthorization:
