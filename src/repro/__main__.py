@@ -21,6 +21,13 @@ bursts, and revocations against two adapted sessions, with per-class
 recovery verification and an invariant sweep.  Identical seeds produce
 byte-identical ``--json`` reports; exit status is non-zero when any
 invariant is violated.
+
+``python -m repro bench-load --seed N --clients C [--json]`` measures the
+high-throughput session layer (:mod:`repro.load`): the same seeded mixed
+view/RPC workload through a serial baseline and through RPC pipelining +
+frame batching, reporting virtual-time throughput, latency percentiles,
+authorization-cache hit rates, and the serial-vs-pipelined differential
+check.  Same seed, byte-identical JSON.
 """
 
 from __future__ import annotations
@@ -262,12 +269,111 @@ def run_chaos(argv: list[str] | None = None) -> int:
     return 0 if report.ok else 1
 
 
+def run_bench_load(argv: list[str] | None = None) -> int:
+    """The ``repro bench-load`` subcommand.
+
+    Runs the seeded virtual-time load harness (:mod:`repro.load`) twice
+    over one world shape — serial baseline, then pipelined + batched —
+    and prints the comparison.  Identical seeds produce byte-identical
+    ``--json`` output; exit status is non-zero when the differential
+    guarantee fails (serial and pipelined transcripts diverge).
+    """
+    from .load import run_bench
+
+    argv = list(argv or [])
+    usage = (
+        "usage: python -m repro bench-load [--seed N] [--clients C]"
+        " [--requests R] [--depth D] [--json] [--out PATH]"
+    )
+    seed, clients, requests, depth = 7, 8, 40, 8
+    as_json = False
+    out_path: str | None = None
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "--json":
+            as_json = True
+            index += 1
+            continue
+        if arg in ("--seed", "--clients", "--requests", "--depth", "--out"):
+            if index + 1 >= len(argv):
+                print(f"repro bench-load: {arg} needs a value", file=sys.stderr)
+                print(usage, file=sys.stderr)
+                return 2
+            value = argv[index + 1]
+            try:
+                if arg == "--seed":
+                    seed = int(value)
+                elif arg == "--clients":
+                    clients = int(value)
+                elif arg == "--requests":
+                    requests = int(value)
+                elif arg == "--depth":
+                    depth = int(value)
+                else:
+                    out_path = value
+            except ValueError:
+                print(
+                    f"repro bench-load: bad value for {arg}: {value!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            index += 2
+            continue
+        print(f"repro bench-load: unknown argument {arg!r}", file=sys.stderr)
+        print(usage, file=sys.stderr)
+        return 2
+    try:
+        report = run_bench(
+            seed=seed, clients=clients, requests=requests, depth=depth
+        )
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(
+            f"repro bench-load: run failed: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    if as_json:
+        print(rendered)
+    else:
+        serial, fast = report["serial"], report["pipelined"]
+        print(
+            f"bench-load seed={seed} clients={clients} requests={requests} "
+            f"depth={depth}"
+        )
+        for label, run in (("serial   ", serial), ("pipelined", fast)):
+            lat = run["latency_s"]
+            print(
+                f"  {label}: makespan {run['makespan_s']:.4f}s  "
+                f"throughput {run['throughput_ops_per_s']:.1f} ops/s  "
+                f"p50 {lat['p50'] * 1000:.2f}ms  p95 {lat['p95'] * 1000:.2f}ms  "
+                f"p99 {lat['p99'] * 1000:.2f}ms"
+            )
+        print(
+            f"  speedup: {report['speedup']:.2f}x  "
+            f"transcripts match: {'yes' if report['transcripts_match'] else 'NO'}  "
+            f"cache hit-rate: {fast['cache']['hit_rate']:.3f}"
+        )
+        print(
+            f"  batching: {fast['net']['batches_sent']} batches carried "
+            f"{fast['net']['frames_coalesced']} of {fast['net']['messages_sent']} "
+            f"frames"
+        )
+    return 0 if report["transcripts_match"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "stats":
         return run_stats(argv[1:])
     if argv and argv[0] == "chaos":
         return run_chaos(argv[1:])
+    if argv and argv[0] == "bench-load":
+        return run_bench_load(argv[1:])
     key_bits = 512
     if argv and argv[0] == "--full-keys":
         key_bits = 1024
@@ -275,7 +381,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro: unknown command {argv[0]!r}", file=sys.stderr)
         print(
             "usage: python -m repro [--full-keys] | stats [--json] [--full-keys]"
-            " | chaos [--seed N] [--duration S] [--json]",
+            " | chaos [--seed N] [--duration S] [--json]"
+            " | bench-load [--seed N] [--clients C] [--json]",
             file=sys.stderr,
         )
         return 2

@@ -1,4 +1,4 @@
-"""Monitored proof caching.
+"""Monitored proof caching, sharded for the hot path.
 
 Authorization decisions in PSF recur — the same client hits the same
 role check on every request in systems without single sign-on, and the
@@ -9,6 +9,21 @@ invalidation: a cached proof is served only while every credential in it
 is unrevoked and unexpired, so caching never extends access beyond what a
 fresh search would grant.
 
+The cache is **sharded**: keys spread across independent LRU shards by a
+seed-stable hash, so capacity pressure in one hot shard cannot evict the
+whole working set, and a revocation storm invalidates only the shards it
+touches.  Invalidation is both *eager* (each cached proof's monitor
+removes its own entry the instant any of its credentials is revoked —
+revocation storms shrink the cache immediately instead of leaving
+landmines for later lookups) and *lazy* (expiry is a clock condition and
+is re-checked per hit).
+
+**Negative caching**: denials are remembered too.  A denial can only be
+upgraded by a *new* credential, never by a revocation or by time passing,
+so a cached denial is valid exactly while the repository's publish
+version is unchanged — re-issuing a credential after a storm bumps the
+version and drops every stale denial at once.
+
 This is the middle ground between the paper's two poles (per-call proof
 search vs authorize-once views); ``benchmarks/bench_sso_overhead.py``
 ablates all three.
@@ -16,14 +31,17 @@ ablates all three.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable
 
 from .. import obs
+from ..errors import AuthorizationError
 from ..obs import names as metric_names
 from .delegation import Delegation
 from .engine import AuthorizationResult, DrbacEngine
-from .model import Attributes, Role, Subject, subject_key
+from .model import Attributes, Role, Subject
 
 
 @dataclass(slots=True)
@@ -31,20 +49,74 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     invalidated: int = 0
+    evicted: int = 0
+    negative_hits: int = 0
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.negative_hits
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        if lookups == 0:
+            return 0.0
+        return (self.hits + self.negative_hits) / lookups
+
+
+@dataclass(slots=True)
+class _Entry:
+    """One cached decision: a live grant or a versioned denial."""
+
+    result: AuthorizationResult | None
+    """``None`` marks a negative entry (the search found no proof)."""
+    denial: str = ""
+    repo_version: int = -1
+    """Repository publish version a negative entry was computed at."""
+
+
+class _Shard:
+    """One LRU shard; all mutation goes through the owning cache so the
+    stats counters and the entries gauge can never drift from content."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: OrderedDict[tuple, _Entry] = OrderedDict()
 
 
 class CachedAuthorizer:
-    """Memoizing façade over :meth:`DrbacEngine.authorize`."""
+    """Sharded memoizing façade over :meth:`DrbacEngine.authorize`.
 
-    def __init__(self, engine: DrbacEngine, *, max_entries: int = 4096) -> None:
+    Calls that present an *explicit* credential set bypass the cache
+    entirely: the memo key is (subject, role, attributes), and a result
+    computed from one hand-picked credential set must not answer for a
+    different one.
+    """
+
+    def __init__(
+        self,
+        engine: DrbacEngine,
+        *,
+        max_entries: int = 4096,
+        shards: int = 8,
+        negative: bool = True,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.engine = engine
         self.max_entries = max_entries
+        # Clamp so per-shard capacities (floor division) sum to at most
+        # max_entries: the global bound holds even for tiny caches.
+        self.shards = min(shards, max_entries)
+        self.negative = negative
         self.stats = CacheStats()
-        self._cache: dict[tuple, AuthorizationResult] = {}
+        self._shards = [_Shard() for _ in range(self.shards)]
+        self._per_shard = max_entries // self.shards
+
+    # -- keying --------------------------------------------------------------
 
     def _key(
         self,
@@ -59,6 +131,14 @@ class CachedAuthorizer:
         )
         return (str(subject), str(role), attrs_key)
 
+    def _shard_for(self, key: tuple) -> _Shard:
+        # crc32, not hash(): stable across processes (PYTHONHASHSEED), so
+        # shard placement — and thus eviction order — is deterministic.
+        digest = zlib.crc32("|".join((key[0], key[1], repr(key[2]))).encode())
+        return self._shards[digest % self.shards]
+
+    # -- the memoized call ----------------------------------------------------
+
     def authorize(
         self,
         subject: Subject | str,
@@ -67,33 +147,117 @@ class CachedAuthorizer:
         *,
         required_attributes: Attributes | None = None,
     ) -> AuthorizationResult:
-        """Serve from cache while the cached proof remains live."""
+        """Serve from cache while the cached decision remains sound."""
+        if credentials is not None:
+            return self.engine.authorize(
+                subject, role, credentials, required_attributes=required_attributes
+            )
         key = self._key(subject, role, required_attributes)
-        cached = self._cache.get(key)
-        if cached is not None:
-            if cached.valid and cached.monitor.check_expiry(self.engine.clock.now()):
-                self.stats.hits += 1
-                obs.counter(metric_names.CACHE_HITS).inc()
-                return cached
-            # Revoked or lapsed: drop it and fall through to a fresh search.
-            cached.close()
-            del self._cache[key]
-            self.stats.invalidated += 1
-            obs.counter(metric_names.CACHE_INVALIDATED).inc()
-            # Keep the gauge honest even if the fresh search below raises.
-            obs.gauge(metric_names.CACHE_ENTRIES).set(len(self._cache))
+        shard = self._shard_for(key)
+        entry = shard.entries.get(key)
+        if entry is not None:
+            served = self._serve(shard, key, entry)
+            if served is not None:
+                return served
         self.stats.misses += 1
         obs.counter(metric_names.CACHE_MISSES).inc()
-        result = self.engine.authorize(
-            subject, role, credentials, required_attributes=required_attributes
-        )
-        if len(self._cache) >= self.max_entries:
-            # Evict the oldest entry (insertion order) — simple and bounded.
-            oldest = next(iter(self._cache))
-            self._cache.pop(oldest).close()
-        self._cache[key] = result
-        obs.gauge(metric_names.CACHE_ENTRIES).set(len(self._cache))
+        repo_version = self.engine.repository.version
+        try:
+            result = self.engine.authorize(
+                subject, role, required_attributes=required_attributes
+            )
+        except AuthorizationError as denial:
+            if self.negative:
+                self._insert(
+                    shard,
+                    key,
+                    _Entry(result=None, denial=str(denial), repo_version=repo_version),
+                )
+            raise
+        self._insert(shard, key, _Entry(result=result))
+        self._watch(shard, key, result)
         return result
+
+    def _serve(
+        self, shard: _Shard, key: tuple, entry: _Entry
+    ) -> AuthorizationResult | None:
+        """Return the cached decision if still sound, else drop it."""
+        if entry.result is None:
+            # Negative entry: sound while nothing new has been published.
+            if entry.repo_version == self.engine.repository.version:
+                shard.entries.move_to_end(key)
+                self.stats.negative_hits += 1
+                obs.counter(metric_names.CACHE_NEGATIVE_HITS).inc()
+                raise AuthorizationError(entry.denial)
+            self._remove(shard, key, entry, why="invalidated")
+            return None
+        cached = entry.result
+        if cached.valid and cached.monitor.check_expiry(self.engine.clock.now()):
+            shard.entries.move_to_end(key)
+            self.stats.hits += 1
+            obs.counter(metric_names.CACHE_HITS).inc()
+            return cached
+        # Revoked or lapsed: drop it and fall through to a fresh search.
+        self._remove(shard, key, entry, why="invalidated")
+        return None
+
+    # -- mutation (single path, so stats and gauge cannot drift) ---------------
+
+    def _insert(self, shard: _Shard, key: tuple, entry: _Entry) -> None:
+        """Store ``entry``, evicting LRU entries to stay within capacity.
+
+        Eviction is atomic with respect to stats: the displaced entry is
+        removed, closed, counted, and the gauge refreshed before the new
+        entry lands — a concurrent revocation callback arriving between
+        the pop and the insert sees a consistent cache (the regression in
+        ``tests/drbac/test_cache.py::TestEvictionAtomicity`` pins this).
+        """
+        existing = shard.entries.get(key)
+        if existing is not None:
+            # A lookup raced a revocation/re-issue cycle: replace in place.
+            self._remove(shard, key, existing, why="invalidated")
+        while len(shard.entries) >= self._per_shard and shard.entries:
+            oldest_key, oldest = next(iter(shard.entries.items()))
+            self._remove(shard, oldest_key, oldest, why="evicted")
+        shard.entries[key] = entry
+        self._sync_gauge()
+
+    def _remove(self, shard: _Shard, key: tuple, entry: _Entry, *, why: str) -> None:
+        """Drop one entry and account for it — the only removal path."""
+        current = shard.entries.get(key)
+        if current is not entry:
+            return  # already removed (eager invalidation raced a lookup)
+        del shard.entries[key]
+        if entry.result is not None:
+            entry.result.close()
+        if why == "evicted":
+            self.stats.evicted += 1
+            obs.counter(metric_names.CACHE_EVICTED).inc()
+        else:
+            self.stats.invalidated += 1
+            obs.counter(metric_names.CACHE_INVALIDATED).inc()
+        self._sync_gauge()
+
+    def _watch(self, shard: _Shard, key: tuple, result: AuthorizationResult) -> None:
+        """Eagerly drop the entry the moment its proof is invalidated.
+
+        Storm-safe: a revocation storm fires monitors synchronously, and
+        each affected entry removes itself immediately — the entries
+        gauge tracks reality *during* the storm, and no stale grant can
+        be observed even before its next lookup.
+        """
+        entry = shard.entries.get(key)
+
+        def on_invalidated(_credential_id: str) -> None:
+            if entry is not None:
+                self._remove(shard, key, entry, why="invalidated")
+
+        result.monitor.on_invalidated(on_invalidated)
+
+    def _sync_gauge(self) -> None:
+        obs.gauge(metric_names.CACHE_ENTRIES).set(len(self))
+
+    # -- conveniences ---------------------------------------------------------
 
     def is_authorized(
         self,
@@ -103,8 +267,6 @@ class CachedAuthorizer:
         *,
         required_attributes: Attributes | None = None,
     ) -> bool:
-        from ..errors import AuthorizationError
-
         try:
             self.authorize(
                 subject, role, credentials, required_attributes=required_attributes
@@ -114,10 +276,15 @@ class CachedAuthorizer:
             return False
 
     def clear(self) -> None:
-        for result in self._cache.values():
-            result.close()
-        self._cache.clear()
-        obs.gauge(metric_names.CACHE_ENTRIES).set(0)
+        for shard in self._shards:
+            for entry in shard.entries.values():
+                if entry.result is not None:
+                    entry.result.close()
+            shard.entries.clear()
+        self._sync_gauge()
+
+    def shard_sizes(self) -> list[int]:
+        return [len(shard.entries) for shard in self._shards]
 
     def __len__(self) -> int:
-        return len(self._cache)
+        return sum(len(shard.entries) for shard in self._shards)

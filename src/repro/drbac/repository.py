@@ -87,6 +87,11 @@ class DistributedRepository:
         self.replicated = replicated
         self.query_count = 0
         self.failover_count = 0
+        self.version = 0
+        """Monotonic publish counter.  A new credential can turn a past
+        denial into a grant, so negative authorization caches key their
+        entries to the version they were computed against and drop them
+        when it moves (see :class:`~repro.drbac.cache.CachedAuthorizer`)."""
 
     def shard(self, home: str) -> RepositoryShard:
         shard = self._shards.get(home)
@@ -147,6 +152,7 @@ class DistributedRepository:
         tags: frozenset[DiscoveryTag] | set[DiscoveryTag] = BOTH_TAGS,
     ) -> None:
         """Store a credential, indexing per its discovery tags."""
+        self.version += 1
         if DiscoveryTag.SEARCHABLE_FROM_SUBJECT in tags:
             home = subject_home(delegation.subject)
             self.shard(home).index_subject(delegation)

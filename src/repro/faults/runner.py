@@ -63,17 +63,15 @@ def _hermetic_counters() -> Iterator[None]:
     from ..drbac import delegation as delegation_mod
     from ..psf import planner as planner_mod
     from ..switchboard import channel as channel_mod
-    from ..switchboard import rpc as rpc_mod
 
+    # RPC call ids stopped being process-global when endpoints and
+    # channels grew per-instance CallIdPools (correlation-id reuse), so
+    # only the remaining module-level counters need pinning here.
     saved = (
-        rpc_mod._call_ids,
-        channel_mod._call_ids,
         channel_mod._conn_ids,
         delegation_mod._serial,
         planner_mod._instance_counter,
     )
-    rpc_mod._call_ids = itertools.count(1)
-    channel_mod._call_ids = itertools.count(1)
     channel_mod._conn_ids = itertools.count(1)
     delegation_mod._serial = itertools.count(1)
     planner_mod._instance_counter = itertools.count(1)
@@ -81,8 +79,6 @@ def _hermetic_counters() -> Iterator[None]:
         yield
     finally:
         (
-            rpc_mod._call_ids,
-            channel_mod._call_ids,
             channel_mod._conn_ids,
             delegation_mod._serial,
             planner_mod._instance_counter,
@@ -214,6 +210,7 @@ class ChaosRunner:
         intensity: float = 1.0,
         key_bits: int = 512,
         key_store: Any = None,
+        batching: bool = False,
     ) -> None:
         if duration <= 0:
             raise FaultError(f"chaos duration must be positive, got {duration}")
@@ -225,6 +222,10 @@ class ChaosRunner:
         # pre-built KeyStore across runs is determinism-safe and skips the
         # dominant RSA-generation cost (useful in tests).
         self.key_store = key_store
+        self.batching = batching
+        """Run the storm with transport frame batching enabled — the
+        integration proof that coalesced delivery survives link-down
+        mid-batch without hanging RPCs or stale authorization."""
 
     # -- entry point ---------------------------------------------------------
 
@@ -246,6 +247,8 @@ class ChaosRunner:
         psf = scenario.psf
         scheduler = psf.scheduler
         obs.set_tracer_clock(scheduler)
+        if self.batching:
+            psf.transport.configure_batching(max_frames=8, window=0.002)
         server = scenario.server
         server.sendMail(
             {"recipient": "Alice", "sender": "Bob", "body": "pre-chaos baseline"}

@@ -1,0 +1,10 @@
+"""Deterministic load harness: seeded virtual-time throughput runs.
+
+``python -m repro bench-load`` drives :func:`run_bench`; tests import
+:class:`LoadGenerator` directly to assert the differential guarantee
+(pipelined + batched runs produce byte-identical per-client results).
+"""
+
+from .generator import LoadGenerator, LoadRun, run_bench
+
+__all__ = ["LoadGenerator", "LoadRun", "run_bench"]

@@ -79,6 +79,8 @@ class SimLink:
     properties: dict = field(default_factory=dict)
     bytes_carried: int = field(default=0, repr=False)
     frames_dropped: int = field(default=0, repr=False)
+    batches_carried: int = field(default=0, repr=False)
+    """Multi-frame batches that crossed this link (frame batching)."""
 
     def endpoints(self) -> frozenset[str]:
         return frozenset((self.a, self.b))

@@ -7,6 +7,17 @@ frame that crosses it when ``secure=False``.  Switchboard's encrypted
 frames render that observation useless; plaintext RMI-style frames do not
 — which is the behavioural difference the paper's encryptor/decryptor
 deployment exists to fix.
+
+**Frame batching** (:meth:`Transport.configure_batching`) coalesces
+logical frames that share a (src, dst) flow into one wire-level batch:
+frames queue for at most ``window`` virtual seconds and flush early when
+``max_frames`` or ``max_bytes`` is reached, so a pipelined burst of small
+RPC frames crosses the WAN as a single transfer instead of a storm of
+per-frame events.  Delivery order within a flow is preserved, loss and
+reroute decisions apply to the whole batch (one wire frame), and each
+logical frame still reaches its own service handler — application-level
+results are byte-identical with batching on or off, which
+``tests/load/test_pipeline_differential.py`` asserts.
 """
 
 from __future__ import annotations
@@ -24,6 +35,8 @@ from .simnet import Network, SimLink
 Observer = Callable[[bytes, str, str], None]
 """Eavesdropper callback: (payload, src node, dst node)."""
 
+DropCallback = Callable[[Exception], None]
+
 
 @dataclass(slots=True)
 class TransportStats:
@@ -35,6 +48,77 @@ class TransportStats:
     messages_rerouted: int = 0
     """Frames whose route died mid-flight and were re-sent another way."""
     bytes_sent: int = 0
+    batches_sent: int = 0
+    """Wire-level transfers that carried more than one logical frame."""
+    frames_coalesced: int = 0
+    """Logical frames that shared a wire transfer with at least one other."""
+
+
+@dataclass(slots=True)
+class BatchConfig:
+    """Flush policy for frame batching on one transport.
+
+    A batch flushes when the oldest queued frame has waited ``window``
+    virtual seconds (flush-on-tick), or immediately once ``max_frames``
+    frames or ``max_bytes`` payload bytes are queued for one flow
+    (flush-on-size).  ``window=0`` still coalesces: every frame queued
+    within one scheduler event shares the flush scheduled behind it.
+    """
+
+    max_frames: int = 16
+    max_bytes: int = 64 * 1024
+    window: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_frames < 1:
+            raise NetworkError("batch max_frames must be >= 1")
+        if self.max_bytes < 1:
+            raise NetworkError("batch max_bytes must be >= 1")
+        if self.window < 0:
+            raise NetworkError("batch window must be >= 0")
+
+
+@dataclass(slots=True)
+class _Entry:
+    """One logical frame queued inside a batch."""
+
+    service: str
+    payload: bytes
+    on_dropped: DropCallback | None
+
+
+_BATCH_MAGIC = b"RBAT1"
+
+
+def encode_batch(entries: list[tuple[str, bytes]]) -> bytes:
+    """Length-prefixed concatenation of (service, payload) frames."""
+    parts = [_BATCH_MAGIC, len(entries).to_bytes(2, "big")]
+    for service, payload in entries:
+        name = service.encode()
+        parts.append(len(name).to_bytes(2, "big"))
+        parts.append(name)
+        parts.append(len(payload).to_bytes(4, "big"))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def decode_batch(wire: bytes) -> list[tuple[str, bytes]]:
+    if wire[: len(_BATCH_MAGIC)] != _BATCH_MAGIC:
+        raise NetworkError("not a batch frame")
+    offset = len(_BATCH_MAGIC)
+    count = int.from_bytes(wire[offset : offset + 2], "big")
+    offset += 2
+    entries: list[tuple[str, bytes]] = []
+    for _ in range(count):
+        name_len = int.from_bytes(wire[offset : offset + 2], "big")
+        offset += 2
+        service = wire[offset : offset + name_len].decode()
+        offset += name_len
+        payload_len = int.from_bytes(wire[offset : offset + 4], "big")
+        offset += 4
+        entries.append((service, wire[offset : offset + payload_len]))
+        offset += payload_len
+    return entries
 
 
 class Transport:
@@ -46,9 +130,22 @@ class Transport:
         self.network = network
         self.scheduler = scheduler
         self.stats = TransportStats()
+        self.batching: BatchConfig | None = None
         self._observers: dict[frozenset[str], list[Observer]] = {}
         self._flow_clock: dict[tuple[str, str], float] = {}
+        self._queues: dict[tuple[str, str], list[_Entry]] = {}
+        self._flush_scheduled: set[tuple[str, str]] = set()
         self._rng = random.Random(loss_seed)
+
+    # -- batching control ---------------------------------------------------
+
+    def configure_batching(self, config: BatchConfig | None = None, **kwargs) -> None:
+        """Enable frame batching (``BatchConfig`` or its kwargs)."""
+        self.batching = config if config is not None else BatchConfig(**kwargs)
+
+    def disable_batching(self) -> None:
+        """Stop coalescing; frames already queued flush on their schedule."""
+        self.batching = None
 
     def observe_link(self, a: str, b: str, observer: Observer) -> Callable[[], None]:
         """Attach an eavesdropper to a link; returns a detach function.
@@ -87,16 +184,108 @@ class Transport:
         times, charging the new path's delay) instead of being delivered
         over a dead link; with no surviving route it is dropped and
         ``on_dropped`` fires with the routing error.
+
+        With batching enabled the frame may share its wire transfer (and
+        its loss/reroute fate) with other frames on the same flow; the
+        returned delay is then the projected worst-case queueing delay.
         """
+        # Validate the route now in both modes, so callers keep their
+        # synchronous LinkDownError/NodeDownError contract.
         path = self.network.shortest_path(src, dst)
+        for link in self.network.path_links(path):
+            if not link.up:
+                raise LinkDownError(f"link {link.a}<->{link.b} is down")
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += len(payload)
+        self._snoop(self.network.path_links(path), payload, src, dst)
+        entry = _Entry(service=service, payload=payload, on_dropped=on_dropped)
+        if self.batching is None:
+            return self._transmit(src, dst, [entry], max_reroutes, path=path)
+        return self._enqueue(src, dst, entry)
+
+    # -- batching internals -------------------------------------------------
+
+    def _enqueue(self, src: str, dst: str, entry: _Entry) -> float:
+        config = self.batching
+        assert config is not None
+        flow = (src, dst)
+        queue = self._queues.setdefault(flow, [])
+        queue.append(entry)
+        queued_bytes = sum(len(e.payload) for e in queue)
+        if len(queue) >= config.max_frames or queued_bytes >= config.max_bytes:
+            obs.counter(metric_names.NET_BATCH_FLUSHES_SIZE).inc()
+            self._flush(flow)
+            return 0.0
+        if flow not in self._flush_scheduled:
+            self._flush_scheduled.add(flow)
+
+            def tick() -> None:
+                if flow in self._flush_scheduled:
+                    obs.counter(metric_names.NET_BATCH_FLUSHES_TICK).inc()
+                    self._flush(flow)
+
+            self.scheduler.schedule(config.window, tick)
+        return config.window
+
+    def _flush(self, flow: tuple[str, str]) -> None:
+        """Put every frame queued for ``flow`` on the wire as one batch."""
+        self._flush_scheduled.discard(flow)
+        entries = self._queues.pop(flow, [])
+        if not entries:
+            return
+        src, dst = flow
+        obs.counter(metric_names.NET_BATCH_FLUSHES).inc()
+        obs.histogram(metric_names.NET_BATCH_OCCUPANCY).observe(len(entries))
+        obs.counter(metric_names.NET_BATCH_BYTES).inc(
+            sum(len(e.payload) for e in entries)
+        )
+        if len(entries) > 1:
+            self.stats.batches_sent += 1
+            self.stats.frames_coalesced += len(entries)
+            obs.counter(metric_names.NET_BATCH_FRAMES_COALESCED).inc(len(entries))
+        try:
+            self._transmit(src, dst, entries, max_reroutes=2)
+        except NetworkError as exc:
+            # The route died between enqueue and flush; the frames were
+            # never on the wire, so fail them like an in-flight drop.
+            self.stats.messages_dropped += len(entries)
+            for entry in entries:
+                if entry.on_dropped is not None:
+                    entry.on_dropped(exc)
+
+    def flush_all(self) -> None:
+        """Flush every queued batch immediately (shutdown/test helper)."""
+        for flow in list(self._queues):
+            self._flush(flow)
+
+    # -- wire-level transfer -------------------------------------------------
+
+    def _wire_bytes(self, entries: list[_Entry]) -> int:
+        if len(entries) == 1:
+            return len(entries[0].payload)
+        return len(encode_batch([(e.service, e.payload) for e in entries]))
+
+    def _transmit(
+        self,
+        src: str,
+        dst: str,
+        entries: list[_Entry],
+        max_reroutes: int,
+        path: list[str] | None = None,
+    ) -> float:
+        """Charge one wire transfer for ``entries`` and schedule delivery."""
+        if path is None:
+            path = self.network.shortest_path(src, dst)
         links = self.network.path_links(path)
         delay = 0.0
-        nbytes = len(payload)
+        nbytes = self._wire_bytes(entries)
         for link in links:
             if not link.up:
                 raise LinkDownError(f"link {link.a}<->{link.b} is down")
             delay += link.transfer_delay(nbytes)
             link.bytes_carried += nbytes
+            if len(entries) > 1:
+                link.batches_carried += 1
         if obs.is_enabled():
             obs.counter(metric_names.NET_LINK_BYTES_CARRIED).inc(nbytes * len(links))
         # Links serialize in order: a small frame queued behind a large one
@@ -106,25 +295,21 @@ class Transport:
         deliver_at = max(now + delay, self._flow_clock.get(flow, 0.0) + 1e-9)
         self._flow_clock[flow] = deliver_at
         delay = deliver_at - now
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += nbytes
-        self._snoop(links, payload, src, dst)
 
         # Failure injection: lossy links eat frames after the eavesdropper
         # has seen them (a passive observer taps before the drop point).
+        # A batch is one wire frame: it is lost or carried as a unit.
         for link in links:
             if link.loss_rate > 0 and self._rng.random() < link.loss_rate:
                 link.frames_dropped += 1
-                self.stats.messages_lost += 1
+                self.stats.messages_lost += len(entries)
                 if obs.is_enabled():
                     obs.counter(metric_names.NET_LINK_FRAMES_DROPPED).inc()
                 return delay
 
         self.scheduler.schedule(
             delay,
-            lambda: self._deliver(
-                src, dst, service, payload, path, on_dropped, max_reroutes
-            ),
+            lambda: self._deliver(src, dst, entries, path, max_reroutes),
         )
         return delay
 
@@ -132,13 +317,11 @@ class Transport:
         self,
         src: str,
         dst: str,
-        service: str,
-        payload: bytes,
+        entries: list[_Entry],
         path: list[str],
-        on_dropped: Callable[[Exception], None] | None,
         reroutes_left: int,
     ) -> None:
-        """Complete (or salvage) a frame whose transfer delay has elapsed."""
+        """Complete (or salvage) a transfer whose delay has elapsed."""
         if not self._path_alive(path):
             # The route chosen at send time died under the frame.  Fail
             # fast or re-route — never deliver over a dead link.
@@ -149,27 +332,28 @@ class Transport:
                     )
                 new_path = self.network.shortest_path(src, dst)
             except NetworkError as exc:
-                self.stats.messages_dropped += 1
-                if on_dropped is not None:
-                    on_dropped(exc)
+                self.stats.messages_dropped += len(entries)
+                for entry in entries:
+                    if entry.on_dropped is not None:
+                        entry.on_dropped(exc)
                 return
-            self.stats.messages_rerouted += 1
-            obs.counter(metric_names.NET_MESSAGES_REROUTED).inc()
-            delay = self.network.path_delay(new_path, len(payload))
+            self.stats.messages_rerouted += len(entries)
+            obs.counter(metric_names.NET_MESSAGES_REROUTED).inc(len(entries))
+            delay = self.network.path_delay(new_path, self._wire_bytes(entries))
             self.scheduler.schedule(
                 delay,
-                lambda: self._deliver(
-                    src, dst, service, payload, new_path, on_dropped, reroutes_left - 1
-                ),
+                lambda: self._deliver(src, dst, entries, new_path, reroutes_left - 1),
             )
             return
-        try:
-            self.network.node(dst).deliver(service, payload, src)
-            self.stats.messages_delivered += 1
-        except NetworkError as exc:
-            self.stats.messages_dropped += 1
-            if on_dropped is not None:
-                on_dropped(exc)
+        node = self.network.node(dst)
+        for entry in entries:
+            try:
+                node.deliver(entry.service, entry.payload, src)
+                self.stats.messages_delivered += 1
+            except NetworkError as exc:
+                self.stats.messages_dropped += 1
+                if entry.on_dropped is not None:
+                    entry.on_dropped(exc)
 
     def _path_alive(self, path: list[str]) -> bool:
         for node in path:

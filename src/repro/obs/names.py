@@ -38,6 +38,8 @@ CACHE_HITS = "drbac.cache.hits"
 CACHE_MISSES = "drbac.cache.misses"
 CACHE_INVALIDATED = "drbac.cache.invalidated"
 CACHE_ENTRIES = "drbac.cache.entries"
+CACHE_EVICTED = "drbac.cache.evicted"
+CACHE_NEGATIVE_HITS = "drbac.cache.negative_hits"
 
 # -- Switchboard channel lifecycle (switchboard/channel.py, rpc.py) --------
 
@@ -84,6 +86,20 @@ COHERENCE_IMAGES_PUSHED = "views.coherence.images_pushed"
 NET_LINK_BYTES_CARRIED = "net.link.bytes_carried"
 NET_LINK_FRAMES_DROPPED = "net.link.frames_dropped"
 NET_MESSAGES_REROUTED = "net.messages.rerouted"
+
+# -- Frame batching (net/transport.py) --------------------------------------
+
+NET_BATCH_FLUSHES = "net.batch.flushes"
+NET_BATCH_FLUSHES_SIZE = "net.batch.flushes_size"
+NET_BATCH_FLUSHES_TICK = "net.batch.flushes_tick"
+NET_BATCH_FRAMES_COALESCED = "net.batch.frames_coalesced"
+NET_BATCH_BYTES = "net.batch.bytes"
+NET_BATCH_OCCUPANCY = "net.batch.occupancy"
+
+# -- RPC pipelining (switchboard/rpc.py) ------------------------------------
+
+RPC_PIPELINE_CALLS = "switchboard.rpc.pipeline.calls"
+RPC_PIPELINE_DEPTH = "switchboard.rpc.pipeline.depth"
 
 # -- Recovery machinery (switchboard/rpc.py, channel.py, drbac/repository.py,
 #    psf/adaptation.py) -----------------------------------------------------
@@ -132,6 +148,10 @@ CATALOGUE: tuple[MetricSpec, ...] = (
     MetricSpec(CACHE_INVALIDATED, "counter",
                "cached proofs dropped after revocation or expiry"),
     MetricSpec(CACHE_ENTRIES, "gauge", "live authorization cache entries"),
+    MetricSpec(CACHE_EVICTED, "counter",
+               "cache entries evicted by LRU capacity pressure"),
+    MetricSpec(CACHE_NEGATIVE_HITS, "counter",
+               "denials served from the negative cache"),
     MetricSpec(SWB_HANDSHAKES_INITIATED, "counter", "handshakes dialed"),
     MetricSpec(SWB_HANDSHAKES_ACCEPTED, "counter", "handshakes accepted (responder)"),
     MetricSpec(SWB_HANDSHAKES_REJECTED, "counter", "handshakes rejected (responder)"),
@@ -174,6 +194,21 @@ CATALOGUE: tuple[MetricSpec, ...] = (
                "frames eaten by lossy links"),
     MetricSpec(NET_MESSAGES_REROUTED, "counter",
                "in-flight frames re-sent after their route died"),
+    MetricSpec(NET_BATCH_FLUSHES, "counter", "frame batches put on the wire"),
+    MetricSpec(NET_BATCH_FLUSHES_SIZE, "counter",
+               "batch flushes triggered by size/byte thresholds"),
+    MetricSpec(NET_BATCH_FLUSHES_TICK, "counter",
+               "batch flushes triggered by the flush window elapsing"),
+    MetricSpec(NET_BATCH_FRAMES_COALESCED, "counter",
+               "logical frames carried inside multi-frame batches"),
+    MetricSpec(NET_BATCH_BYTES, "counter",
+               "payload bytes sent through the batching path"),
+    MetricSpec(NET_BATCH_OCCUPANCY, "histogram",
+               "logical frames per flushed batch", COUNT_BUCKETS),
+    MetricSpec(RPC_PIPELINE_CALLS, "counter",
+               "remote calls issued through an RpcPipeline"),
+    MetricSpec(RPC_PIPELINE_DEPTH, "histogram",
+               "in-flight calls observed at pipeline issue time", COUNT_BUCKETS),
     MetricSpec(RPC_WAIT_TIMEOUTS, "counter",
                "PendingCall.wait deadlines exceeded"),
     MetricSpec(RPC_RETRIES, "counter", "RPC frames retransmitted"),

@@ -53,12 +53,18 @@ from ..errors import (
 from ..faults.retry import RetryPolicy
 from ..net.transport import Transport
 from .authorizer import AuthorizationMonitor, AuthorizationSuite
-from .rpc import ObjectExporter, PendingCall, decode_frame, encode_frame
+from .rpc import (
+    CallIdPool,
+    ObjectExporter,
+    PendingCall,
+    RpcPipeline,
+    decode_frame,
+    encode_frame,
+)
 
 SWITCHBOARD_SERVICE = "switchboard"
 
 _conn_ids = itertools.count(1)
-_call_ids = itertools.count(1)
 
 DirectoryLookup = Callable[[str], Optional[PublicIdentity]]
 
@@ -119,6 +125,7 @@ class SwitchboardConnection:
         self._send_seq = 0
         self._recv_seq = -1
         self._pending: dict[int, PendingCall] = {}
+        self._ids = CallIdPool()
         self._trust_callbacks: list[Callable[[str], None]] = []
         self._heartbeat_cancel: Callable[[], None] = lambda: None
         self._expiry_cancel: Callable[[], None] = lambda: None
@@ -141,7 +148,7 @@ class SwitchboardConnection:
         channel raise :class:`ChannelClosedError`.
         """
         self._require_open()
-        call_id = next(_call_ids)
+        call_id = self._ids.acquire()
         scheduler = self.endpoint.transport.scheduler
         pending = PendingCall(
             call_id=call_id,
@@ -164,6 +171,19 @@ class SwitchboardConnection:
 
     def call_sync(self, target: str, method: str, args: list | None = None) -> Any:
         return self.call(target, method, args).wait()
+
+    def pipeline(self, target: str, *, depth: int = 8) -> RpcPipeline:
+        """Pipelined calls on the peer's ``target`` object.
+
+        Keeps up to ``depth`` encrypted requests in flight on this
+        channel with out-of-order completion; results report in issue
+        order (see :class:`~repro.switchboard.rpc.RpcPipeline`).
+        """
+        return RpcPipeline(
+            lambda method, args=None: self.call(target, method, args),
+            self.endpoint.transport.scheduler,
+            depth=depth,
+        )
 
     # -- heartbeats -----------------------------------------------------------
 
@@ -232,7 +252,7 @@ class SwitchboardConnection:
         """
         if self.state not in (ChannelState.REVOKED, ChannelState.OPEN):
             raise ChannelClosedError(f"cannot revalidate from state {self.state}")
-        call_id = next(_call_ids)
+        call_id = self._ids.acquire()
         pending = PendingCall(
             call_id=call_id,
             method="<revalidate>",
@@ -383,6 +403,7 @@ class SwitchboardConnection:
         pending = self._pending.pop(inner["call_id"], None)
         if pending is None:
             return
+        self._ids.release(inner["call_id"])
         if pending.started_at is not None:
             obs.histogram(metric_names.SWB_RPC_LATENCY).observe(
                 self.endpoint.transport.scheduler.now() - pending.started_at
@@ -416,6 +437,7 @@ class SwitchboardConnection:
             self.state = ChannelState.OPEN
         if pending is None:
             return
+        self._ids.release(inner["call_id"])
         if "error" in inner:
             pending.fail(inner["error"])
         else:

@@ -18,8 +18,9 @@ from inside an event handler).
 
 from __future__ import annotations
 
-import itertools
+import heapq
 import json
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -30,9 +31,49 @@ from ..net.events import EventScheduler
 from ..net.transport import Transport
 from ..obs import names as metric_names
 
-_call_ids = itertools.count(1)
-
 PLAIN_RPC_SERVICE = "rmi"
+
+
+class CallIdPool:
+    """Correlation-id allocator with smallest-first reuse.
+
+    Completed calls hand their id back, so a long-lived endpoint cycles
+    through a small, stable id set instead of growing a process-global
+    counter forever.  Stable ids keep frame byte-sizes (and therefore
+    simulated transfer delays) independent of how much traffic preceded a
+    run — the property the chaos and load harnesses rely on for
+    byte-identical reports.
+
+    Ids acquired with ``reusable=False`` are never recycled: an
+    at-least-once retried call can see a *duplicate* late response, and a
+    recycled id would let that duplicate complete an unrelated call.
+    """
+
+    def __init__(self) -> None:
+        self._free: list[int] = []
+        self._next = 1
+        self._reusable: set[int] = set()
+
+    def acquire(self, *, reusable: bool = True) -> int:
+        if reusable and self._free:
+            call_id = heapq.heappop(self._free)
+        else:
+            call_id = self._next
+            self._next += 1
+        if reusable:
+            self._reusable.add(call_id)
+        return call_id
+
+    def release(self, call_id: int) -> None:
+        """Return a reusable id to the pool; ignores non-reusable ids."""
+        if call_id in self._reusable:
+            self._reusable.discard(call_id)
+            heapq.heappush(self._free, call_id)
+
+    @property
+    def high_water(self) -> int:
+        """Largest id ever allocated (pipelining keeps this bounded)."""
+        return self._next - 1
 
 
 class RemoteError(SwitchboardError):
@@ -53,19 +94,41 @@ class PendingCall:
     _error: Optional[str] = None
     _exception: Optional[Exception] = field(default=None, repr=False)
     _scheduler: EventScheduler | None = field(default=None, repr=False)
+    _callbacks: list[Callable[["PendingCall"], None]] = field(
+        default_factory=list, repr=False
+    )
+
+    def add_done_callback(self, fn: Callable[["PendingCall"], None]) -> None:
+        """Run ``fn(self)`` when the call completes (now, if already done).
+
+        This is what lets :class:`RpcPipeline` refill its window the
+        moment a slot frees, instead of polling futures.
+        """
+        if self.done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _fire_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
 
     def resolve(self, value: Any) -> None:
         self.done = True
         self._value = value
+        self._fire_callbacks()
 
     def fail(self, message: str) -> None:
         self.done = True
         self._error = message
+        self._fire_callbacks()
 
     def abort(self, exc: Exception) -> None:
         """Fail the call with a typed local exception (channel teardown)."""
         self.done = True
         self._exception = exc
+        self._fire_callbacks()
 
     @property
     def value(self) -> Any:
@@ -89,6 +152,15 @@ class PendingCall:
         injection, may be never for a call whose peer crashed).  A late
         response can still complete the call afterwards.
         """
+        self.wait_done(timeout=timeout, max_events=max_events)
+        return self.value
+
+    def wait_done(
+        self, *, timeout: float | None = None, max_events: int = 100_000
+    ) -> None:
+        """Pump the scheduler until this call *completes* — success or
+        failure — without consuming the result (so a caller collecting
+        errors, like :meth:`RpcPipeline.drain`, does not raise here)."""
         if self._scheduler is None:
             raise SwitchboardError("no scheduler attached; cannot wait")
         deadline = None if timeout is None else self._scheduler.now() + timeout
@@ -108,7 +180,125 @@ class PendingCall:
                 raise SwitchboardError(
                     f"call {self.method!r} did not complete within {max_events} events"
                 )
-        return self.value
+
+
+class RpcPipeline:
+    """Windowed pipelining over any ``PendingCall``-returning caller.
+
+    Up to ``depth`` calls ride the wire at once; further calls queue
+    locally and are issued the instant a slot frees, so the window never
+    sits idle waiting for a drain.  Completions may land out of order
+    (correlation ids pair responses with calls); :meth:`results` and
+    :meth:`drain` always report in **issue order**, which is what makes a
+    pipelined run byte-comparable with a serial one — the differential
+    guarantee ``tests/load/test_pipeline_differential.py`` checks.
+    """
+
+    def __init__(
+        self,
+        caller: Callable[..., "PendingCall"],
+        scheduler: EventScheduler,
+        *,
+        depth: int = 8,
+    ) -> None:
+        if depth < 1:
+            raise SwitchboardError(f"pipeline depth must be >= 1, got {depth}")
+        self._caller = caller
+        self._scheduler = scheduler
+        self.depth = depth
+        self.in_flight = 0
+        self._order: list[PendingCall] = []
+        self._backlog: deque[tuple[PendingCall, tuple, dict]] = deque()
+
+    def call(self, *args, **kwargs) -> PendingCall:
+        """Issue (or queue) one call; returns its future immediately.
+
+        The returned future is a *shell* that mirrors the wire call's
+        outcome, so callers hold a stable handle even while the call is
+        still queued behind a full window.
+        """
+        shell = PendingCall(
+            call_id=-(len(self._order) + 1),
+            method=f"<pipelined#{len(self._order)}>",
+            _scheduler=self._scheduler,
+        )
+        self._order.append(shell)
+        self._backlog.append((shell, args, kwargs))
+        obs.counter(metric_names.RPC_PIPELINE_CALLS).inc()
+        self._pump()
+        return shell
+
+    def _pump(self) -> None:
+        while self._backlog and self.in_flight < self.depth:
+            shell, args, kwargs = self._backlog.popleft()
+            try:
+                inner = self._caller(*args, **kwargs)
+            except Exception as exc:  # noqa: BLE001 - surface via the future
+                shell.abort(exc)
+                continue
+            self.in_flight += 1
+            obs.histogram(metric_names.RPC_PIPELINE_DEPTH).observe(self.in_flight)
+            inner.add_done_callback(
+                lambda done, shell=shell: self._settle(shell, done)
+            )
+
+    def _settle(self, shell: PendingCall, inner: PendingCall) -> None:
+        self.in_flight -= 1
+        if inner._exception is not None:
+            shell.abort(inner._exception)
+        elif inner._error is not None:
+            shell.fail(inner._error)
+        else:
+            shell.resolve(inner._value)
+        self._pump()
+
+    @property
+    def issued(self) -> int:
+        return len(self._order)
+
+    @property
+    def outstanding(self) -> int:
+        """Calls not yet completed (in flight or still queued)."""
+        return sum(1 for shell in self._order if not shell.done)
+
+    def drain(
+        self,
+        *,
+        timeout: float | None = None,
+        return_exceptions: bool = False,
+        max_events: int = 1_000_000,
+    ) -> list[Any]:
+        """Pump the scheduler until every issued call completes.
+
+        Returns results in issue order.  With ``return_exceptions`` a
+        failed call contributes its exception object instead of raising,
+        so one bad call cannot hide the results of its window-mates.
+        """
+        deadline = None if timeout is None else self._scheduler.now() + timeout
+        for shell in self._order:
+            remaining = (
+                None if deadline is None else max(deadline - self._scheduler.now(), 0.0)
+            )
+            if not shell.done:
+                if remaining is not None and remaining <= 0:
+                    raise RpcTimeoutError(
+                        f"pipeline drain exceeded {timeout}s with "
+                        f"{self.outstanding} calls outstanding"
+                    )
+                shell.wait_done(timeout=remaining, max_events=max_events)
+        return self.results(return_exceptions=return_exceptions)
+
+    def results(self, *, return_exceptions: bool = False) -> list[Any]:
+        """Issue-ordered outcomes of every completed call."""
+        out: list[Any] = []
+        for shell in self._order:
+            try:
+                out.append(shell.value)
+            except Exception as exc:  # noqa: BLE001 - caller opted in
+                if not return_exceptions:
+                    raise
+                out.append(exc)
+        return out
 
 
 class ObjectExporter:
@@ -154,6 +344,7 @@ class PlainRpcEndpoint:
         self.node_name = node_name
         self.exporter = ObjectExporter()
         self._pending: dict[int, PendingCall] = {}
+        self._ids = CallIdPool()
         transport.network.node(node_name).bind(PLAIN_RPC_SERVICE, self._on_frame)
 
     # -- client side --------------------------------------------------------
@@ -161,7 +352,7 @@ class PlainRpcEndpoint:
     def call(
         self, remote_node: str, target: str, method: str, args: list | None = None
     ) -> PendingCall:
-        call_id = next(_call_ids)
+        call_id = self._ids.acquire()
         pending = PendingCall(
             call_id=call_id, method=method, _scheduler=self.transport.scheduler
         )
@@ -180,6 +371,7 @@ class PlainRpcEndpoint:
             # crashed) can never produce a response; unblock the caller.
             if not pending.done:
                 self._pending.pop(call_id, None)
+                self._ids.release(call_id)
                 pending.abort(exc)
 
         try:
@@ -192,6 +384,7 @@ class PlainRpcEndpoint:
             )
         except NetworkError as exc:
             del self._pending[call_id]
+            self._ids.release(call_id)
             pending.fail(str(exc))
         return pending
 
@@ -199,6 +392,19 @@ class PlainRpcEndpoint:
         self, remote_node: str, target: str, method: str, args: list | None = None
     ) -> Any:
         return self.call(remote_node, target, method, args).wait()
+
+    def pipeline(
+        self, remote_node: str, target: str, *, depth: int = 8
+    ) -> RpcPipeline:
+        """A pipelined caller for one remote object: ``p.call(method, args)``.
+
+        Keeps up to ``depth`` requests in flight; see :class:`RpcPipeline`.
+        """
+        return RpcPipeline(
+            lambda method, args=None: self.call(remote_node, target, method, args),
+            self.transport.scheduler,
+            depth=depth,
+        )
 
     def call_with_retry(
         self,
@@ -228,7 +434,10 @@ class PlainRpcEndpoint:
         if policy is None:
             policy = RetryPolicy.fixed(timeout, retries)
         schedule = policy.schedule()
-        call_id = next(_call_ids)
+        # Non-reusable id: retransmission means the remote may answer more
+        # than once, and a late duplicate must never complete a newer call
+        # that recycled the id.
+        call_id = self._ids.acquire(reusable=False)
         pending = PendingCall(
             call_id=call_id, method=method, _scheduler=self.transport.scheduler
         )
@@ -314,6 +523,7 @@ class PlainRpcEndpoint:
         pending = self._pending.pop(frame["call_id"], None)
         if pending is None:
             return  # response for a forgotten call
+        self._ids.release(frame["call_id"])
         if "error" in frame:
             pending.fail(frame["error"])
         else:

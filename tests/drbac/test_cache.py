@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.drbac.cache import CachedAuthorizer
 from repro.errors import AuthorizationError
+from repro.obs import names as metric_names
 
 
 class TestCaching:
@@ -25,11 +27,37 @@ class TestCaching:
         cache.authorize("Alice", "Comp.NY.Partner")
         assert len(cache) == 2
 
-    def test_failure_not_cached(self, engine):
+    def test_denial_served_from_negative_cache(self, engine):
         cache = CachedAuthorizer(engine)
         with pytest.raises(AuthorizationError):
             cache.authorize("Nobody", "Comp.NY.Member")
+        assert len(cache) == 1
+        with pytest.raises(AuthorizationError):
+            cache.authorize("Nobody", "Comp.NY.Member")
+        assert cache.stats.negative_hits == 1
+        assert cache.stats.misses == 1
+
+    def test_negative_entry_dropped_on_publish(self, engine):
+        cache = CachedAuthorizer(engine)
+        assert not cache.is_authorized("Late", "Comp.NY.Member")
+        # A new credential can upgrade a denial: the cached denial must
+        # not outlive the publish that makes the subject authorized.
+        engine.delegate("Comp.NY", "Late", "Comp.NY.Member")
+        assert cache.is_authorized("Late", "Comp.NY.Member")
+        assert cache.stats.invalidated == 1
+
+    def test_negative_caching_can_be_disabled(self, engine):
+        cache = CachedAuthorizer(engine, negative=False)
+        with pytest.raises(AuthorizationError):
+            cache.authorize("Nobody", "Comp.NY.Member")
         assert len(cache) == 0
+
+    def test_explicit_credentials_bypass_cache(self, engine):
+        cred = engine.delegate("Comp.NY", "Alice", "Comp.NY.Member", publish=False)
+        cache = CachedAuthorizer(engine)
+        result = cache.authorize("Alice", "Comp.NY.Member", [cred])
+        assert result.valid
+        assert len(cache) == 0 and cache.stats.lookups == 0
 
     def test_attribute_requirements_distinguish_entries(self, engine):
         from repro.drbac.model import AttrSet
@@ -99,3 +127,47 @@ class TestEviction:
         cache = CachedAuthorizer(engine)
         assert cache.is_authorized("Alice", "Comp.NY.Member")
         assert not cache.is_authorized("Nobody", "Comp.NY.Member")
+
+
+class TestEvictionAtomicity:
+    """Eviction must remove-close-count in one step.
+
+    An evicted entry's monitor callback stays subscribed until the proof
+    is garbage collected, so a later revocation fires it against a cache
+    that no longer holds the entry — or holds a *different* entry under
+    the same key.  The identity check in ``_remove`` is what keeps the
+    stats counters and the entries gauge from drifting here; these tests
+    pin that regression.
+    """
+
+    def test_revoking_evicted_entry_does_not_double_count(self, engine):
+        creds = [engine.delegate("Org", f"u{i}", "Org.Member") for i in range(3)]
+        with obs.scoped() as registry:
+            cache = CachedAuthorizer(engine, max_entries=2, shards=1)
+            for i in range(3):
+                cache.authorize(f"u{i}", "Org.Member")  # u0's entry evicted
+            assert cache.stats.evicted == 1
+            assert len(cache) == 2
+            # The evicted proof's monitor callback is still registered;
+            # revoking its credential now targets an entry already gone.
+            engine.revoke(creds[0])
+            assert cache.stats.invalidated == 0
+            assert cache.stats.evicted == 1
+            assert len(cache) == 2
+            assert registry.gauge(metric_names.CACHE_ENTRIES).value == len(cache)
+
+    def test_stale_callback_cannot_remove_key_reusing_entry(self, engine):
+        old = engine.delegate("Org", "Alice", "Org.Member")
+        cache = CachedAuthorizer(engine, max_entries=1, shards=1)
+        stale = cache.authorize("Alice", "Org.Member")
+        engine.delegate("Org", "Bob", "Org.Member")
+        cache.authorize("Bob", "Org.Member")  # evicts Alice's entry
+        fresh = cache.authorize("Alice", "Org.Member")  # reuses Alice's key
+        assert fresh is not stale
+        assert cache.stats.evicted == 2
+        # Both proofs watch `old`, so revoking it fires the stale entry's
+        # callback as well as the live one's.  Only the live entry may be
+        # removed, and the removal must be counted exactly once.
+        engine.revoke(old)
+        assert cache.stats.invalidated == 1
+        assert len(cache) == 0

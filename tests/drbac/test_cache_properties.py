@@ -1,0 +1,115 @@
+"""Property tests: the cached authorizer agrees with the bare engine.
+
+Hypothesis drives random interleavings of delegate / revoke /
+clock-advance / authorize over a small universe of subjects and roles,
+holding one :class:`CachedAuthorizer` — with eviction pressure and
+negative caching both on — against the uncached engine it wraps.  Two
+invariants survive every interleaving:
+
+* **Agreement** — at every authorize step the cached decision
+  (grant or deny) matches what a fresh, uncached proof search returns
+  at that same instant.
+* **No stale grants** — every result served from the cache is still
+  live: its monitor is valid and none of its credentials has expired.
+
+Together these subsume the soundness claims the unit tests pin one at a
+time: a revocation can never be masked by a cached proof, and a publish
+can never be masked by a cached denial.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import ManualClock
+from repro.drbac import DrbacEngine
+from repro.drbac.cache import CachedAuthorizer
+from repro.errors import AuthorizationError
+
+SUBJECTS = ["Alice", "Bob", "Carol"]
+ROLES = ["Org.Member", "Org.Admin"]
+
+_delegate = st.tuples(
+    st.just("delegate"),
+    st.sampled_from(SUBJECTS),
+    st.sampled_from(ROLES),
+    st.one_of(st.none(), st.floats(min_value=1.0, max_value=50.0)),
+)
+_revoke = st.tuples(st.just("revoke"), st.integers(min_value=0, max_value=63))
+_advance = st.tuples(st.just("advance"), st.floats(min_value=0.5, max_value=20.0))
+_authorize = st.tuples(
+    st.just("authorize"), st.sampled_from(SUBJECTS), st.sampled_from(ROLES)
+)
+
+op_sequences = st.lists(
+    st.one_of(_delegate, _revoke, _advance, _authorize), max_size=24
+)
+
+
+def _uncached_outcome(engine, subject, role):
+    try:
+        result = engine.authorize(subject, role)
+    except AuthorizationError:
+        return False
+    result.close()
+    return True
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=op_sequences)
+def test_cache_agrees_with_uncached_engine(key_store, ops):
+    clock = ManualClock()
+    engine = DrbacEngine(key_store=key_store, clock=clock)
+    # Tiny capacity + few shards so eviction churns during the run.
+    cache = CachedAuthorizer(engine, max_entries=3, shards=2)
+    issued = []
+    revoked = set()
+    for op in ops:
+        if op[0] == "delegate":
+            _, subject, role, lifetime = op
+            expires = None if lifetime is None else clock.now() + lifetime
+            issued.append(engine.delegate("Org", subject, role, expires_at=expires))
+        elif op[0] == "revoke":
+            if issued:
+                cred = issued[op[1] % len(issued)]
+                if cred.credential_id not in revoked:
+                    revoked.add(cred.credential_id)
+                    engine.revoke(cred)
+        elif op[0] == "advance":
+            clock.advance(op[1])
+        else:
+            _, subject, role = op
+            try:
+                result = cache.authorize(subject, role)
+                cached_grant = True
+            except AuthorizationError:
+                cached_grant = False
+            if cached_grant:
+                # A served grant must itself still be live.
+                assert result.valid
+                assert result.monitor.check_expiry(clock.now())
+                assert not (set(result.monitor.watched_credentials) & revoked)
+            assert cached_grant == _uncached_outcome(engine, subject, role), (
+                f"cache and engine disagree on {subject} -> {role}"
+            )
+        # Capacity is a hard bound at every step, not just at the end.
+        assert len(cache) <= 3
+    cache.clear()
+
+
+@settings(max_examples=15, deadline=None)
+@given(ops=op_sequences)
+def test_shard_placement_is_deterministic(key_store, ops):
+    """Replaying one interleaving lands every key on the same shard."""
+    clock = ManualClock()
+    engine = DrbacEngine(key_store=key_store, clock=clock)
+    sizes = []
+    for _ in range(2):
+        cache = CachedAuthorizer(engine, max_entries=8, shards=4)
+        for op in ops:
+            if op[0] == "authorize":
+                cache.is_authorized(op[1], op[2])
+        sizes.append(cache.shard_sizes())
+        cache.clear()
+    assert sizes[0] == sizes[1]

@@ -32,7 +32,12 @@ class TestRevocationInvalidatesCache:
         with pytest.raises(AuthorizationError):
             cache.authorize("Alice", "Org.Member")
         assert cache.stats.invalidated == 1
-        assert len(cache) == 0
+        # The stale grant is gone; what remains is the negatively cached
+        # denial from the fresh (failed) search.
+        assert len(cache) == 1
+        with pytest.raises(AuthorizationError):
+            cache.authorize("Alice", "Org.Member")
+        assert cache.stats.negative_hits == 1
 
     def test_mid_chain_link_revoked(self, engine, cache):
         # Bob -> Dept.Staff -> Org.Member: revoking the *middle* link must
@@ -82,7 +87,9 @@ class TestRevocationInvalidatesCache:
 class TestObsAccounting:
     def test_invalidation_counts_and_gauge_stays_honest(self, engine):
         with obs.scoped() as registry:
-            cache = CachedAuthorizer(engine)
+            # negative=False keeps the point sharp: the gauge must drop to
+            # zero on pure invalidation, with no new insert to mask drift.
+            cache = CachedAuthorizer(engine, negative=False)
             cred = engine.delegate("Org", "Alice", "Org.Member")
             cache.authorize("Alice", "Org.Member")
             cache.authorize("Alice", "Org.Member")
