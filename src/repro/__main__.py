@@ -28,6 +28,16 @@ view/RPC workload through a serial baseline and through RPC pipelining +
 frame batching, reporting virtual-time throughput, latency percentiles,
 authorization-cache hit rates, and the serial-vs-pipelined differential
 check.  Same seed, byte-identical JSON.
+
+``python -m repro simtest --seed N [--steps S] [--chaos] [--json]`` runs
+the model-based simulation checker (:mod:`repro.check`): a seeded
+interleaved workload of delegations, revocations, view accesses, and
+authorization-guarded RPC is replayed against the real stack while
+pure-Python reference oracles predict every observable.  On divergence
+the trace is delta-debugged down to a minimal replayable repro
+(``--replay FILE`` re-runs one).  ``--mutate ignore-revoke`` /
+``--mutate ignore-expiry`` intentionally breaks an oracle to demonstrate
+detection and shrinking end to end.  Same seed, byte-identical JSON.
 """
 
 from __future__ import annotations
@@ -366,6 +376,94 @@ def run_bench_load(argv: list[str] | None = None) -> int:
     return 0 if report["transcripts_match"] else 1
 
 
+def run_simtest(argv: list[str] | None = None) -> int:
+    """The ``repro simtest`` subcommand.
+
+    Generates (or ``--replay``s) a trace, runs it through the simulation
+    checker, and — when the oracles and the stack disagree — shrinks the
+    trace and writes the minimal repro to ``--out`` (default
+    ``simtest-repro.json``).  Exit status 0 means no divergence.
+    """
+    from .check import SimTester, Trace, generate_trace, shrink_trace
+
+    argv = list(argv or [])
+    usage = (
+        "usage: python -m repro simtest [--seed N] [--steps S] [--chaos]"
+        " [--mutate NAME] [--replay FILE] [--out PATH] [--json]"
+    )
+    seed, steps = 7, 500
+    chaos = as_json = False
+    mutation: str | None = None
+    replay_path: str | None = None
+    out_path = "simtest-repro.json"
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "--json":
+            as_json = True
+            index += 1
+            continue
+        if arg == "--chaos":
+            chaos = True
+            index += 1
+            continue
+        if arg in ("--seed", "--steps", "--mutate", "--replay", "--out"):
+            if index + 1 >= len(argv):
+                print(f"repro simtest: {arg} needs a value", file=sys.stderr)
+                print(usage, file=sys.stderr)
+                return 2
+            value = argv[index + 1]
+            try:
+                if arg == "--seed":
+                    seed = int(value)
+                elif arg == "--steps":
+                    steps = int(value)
+                elif arg == "--mutate":
+                    mutation = value
+                elif arg == "--replay":
+                    replay_path = value
+                else:
+                    out_path = value
+            except ValueError:
+                print(
+                    f"repro simtest: bad value for {arg}: {value!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            index += 2
+            continue
+        print(f"repro simtest: unknown argument {arg!r}", file=sys.stderr)
+        print(usage, file=sys.stderr)
+        return 2
+    try:
+        if replay_path is not None:
+            with open(replay_path, encoding="utf-8") as handle:
+                trace = Trace.from_json(handle.read())
+        else:
+            trace = generate_trace(seed=seed, steps=steps, chaos=chaos)
+        tester = SimTester(mutation=mutation)
+        report = tester.run(trace)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(
+            f"repro simtest: run failed: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    if as_json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.summary())
+    if report.ok:
+        return 0
+    result = shrink_trace(trace, tester)
+    if not as_json:
+        print(result.summary())
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(result.trace.to_json() + "\n")
+    print(f"repro simtest: minimal repro written to {out_path}", file=sys.stderr)
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "stats":
@@ -374,6 +472,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_chaos(argv[1:])
     if argv and argv[0] == "bench-load":
         return run_bench_load(argv[1:])
+    if argv and argv[0] == "simtest":
+        return run_simtest(argv[1:])
     key_bits = 512
     if argv and argv[0] == "--full-keys":
         key_bits = 1024
@@ -382,7 +482,8 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "usage: python -m repro [--full-keys] | stats [--json] [--full-keys]"
             " | chaos [--seed N] [--duration S] [--json]"
-            " | bench-load [--seed N] [--clients C] [--json]",
+            " | bench-load [--seed N] [--clients C] [--json]"
+            " | simtest [--seed N] [--steps S] [--chaos] [--json]",
             file=sys.stderr,
         )
         return 2

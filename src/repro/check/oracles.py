@@ -1,0 +1,181 @@
+"""Reference oracles: the semantics of the stack in a page of Python.
+
+Each oracle is a deliberately naive executable model — no caching, no
+sharding, no signatures, no network — of one subsystem's *observable*
+behaviour.  The executor replays a trace against the real stack and
+against these models in lockstep; any disagreement is a bug in one of
+them, and both are small enough to audit by eye to decide which.
+
+* :class:`DrbacOracle` — dRBAC membership as reachability over live
+  delegation edges.  The generator only issues self-certifying
+  membership delegations (issuer owns the role), so the model needs no
+  assignment or third-party logic: an entity holds a role iff the role
+  is reachable from it through edges that are published, unrevoked, and
+  unexpired *right now*.
+* :class:`ViewAclOracle` — Table 4 visibility: ordered role→view rules,
+  first provable role wins, with an optional anonymous default.
+* :class:`RpcOracle` — at-least-once key-value RPC over a lossy link as
+  an *admissible value set* per key: a put whose response was lost may
+  or may not have executed (and may execute again as a late duplicate),
+  so both outcomes stay admissible until a successful read collapses
+  the set to what was actually observed.
+
+``mutation`` on :class:`DrbacOracle` intentionally breaks the model
+(``ignore-revoke`` / ``ignore-expiry``) — the documented way to
+demonstrate that the checker detects divergence and the shrinker
+reduces it to a minimal repro (see EXPERIMENTS.md, E-SIMTEST).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+MUTATIONS = ("ignore-revoke", "ignore-expiry")
+
+
+@dataclass(slots=True)
+class _Edge:
+    """One delegation: ``subject`` (entity or role string) → ``role``."""
+
+    subject: str
+    role: str
+    expires_at: Optional[float]
+    published: bool
+    revoked: bool = False
+
+
+class DrbacOracle:
+    """Naive dRBAC: role membership is reachability over live edges."""
+
+    def __init__(self, *, mutation: str | None = None) -> None:
+        if mutation is not None and mutation not in MUTATIONS:
+            raise ValueError(
+                f"unknown oracle mutation {mutation!r}; pick from {MUTATIONS}"
+            )
+        self.mutation = mutation
+        self._edges: dict[str, _Edge] = {}
+
+    def delegate(
+        self,
+        ref: str,
+        subject: str,
+        role: str,
+        *,
+        expires_at: float | None = None,
+        published: bool = True,
+    ) -> None:
+        self._edges[ref] = _Edge(
+            subject=subject, role=role, expires_at=expires_at, published=published
+        )
+
+    def publish(self, ref: str) -> None:
+        edge = self._edges.get(ref)
+        if edge is not None:
+            edge.published = True
+
+    def revoke(self, ref: str) -> None:
+        edge = self._edges.get(ref)
+        if edge is not None:
+            edge.revoked = True
+
+    def is_published(self, ref: str) -> bool:
+        edge = self._edges.get(ref)
+        return edge is not None and edge.published
+
+    def _live(self, edge: _Edge, now: float) -> bool:
+        if not edge.published:
+            return False
+        if edge.revoked and self.mutation != "ignore-revoke":
+            return False
+        if (
+            edge.expires_at is not None
+            and now > edge.expires_at  # mirrors Delegation.is_expired
+            and self.mutation != "ignore-expiry"
+        ):
+            return False
+        return True
+
+    def holds(self, subject: str, role: str, now: float) -> bool:
+        """Does ``subject`` hold ``role`` at time ``now``?
+
+        Transitive closure: start from the subject, repeatedly add every
+        role granted by a live edge whose subject is already reachable.
+        Role-subject edges are what make cross-namespace chains work
+        (Alice → OrgA.Writer → OrgB.Member).
+        """
+        reached = {subject}
+        grew = True
+        while grew:
+            grew = False
+            for edge in self._edges.values():
+                if edge.subject in reached and edge.role not in reached:
+                    if self._live(edge, now):
+                        reached.add(edge.role)
+                        grew = True
+        return role in reached
+
+
+class ViewAclOracle:
+    """Table 4: ordered role→view rules, first provable role wins."""
+
+    def __init__(
+        self,
+        drbac: DrbacOracle,
+        rules: list[tuple[str, str]],
+        *,
+        default: str | None = None,
+    ) -> None:
+        self.drbac = drbac
+        self.rules = list(rules)
+        self.default = default
+
+    def resolve(self, client: str, now: float) -> str | None:
+        for role, view_name in self.rules:
+            if self.drbac.holds(client, role, now):
+                return view_name
+        return self.default
+
+
+class RpcOracle:
+    """At-least-once key-value RPC as admissible value sets.
+
+    Unset keys admit exactly ``None`` (the store's miss value).  A put
+    whose outcome is unknown (response lost) widens the set; a
+    successful read collapses it.  ``observed in admissible`` is the
+    correctness check for every successful read.
+    """
+
+    def __init__(self) -> None:
+        self._admissible: dict[str, set] = {}
+
+    def admissible(self, key: str) -> set:
+        return set(self._admissible.get(key, {None}))
+
+    def put_succeeded(self, key: str, value, observed_old, *,
+                      may_duplicate: bool = False) -> bool:
+        """A put completed and returned the previous value.
+
+        With ``may_duplicate`` (retried calls) an earlier transmission of
+        this same put may already have executed — its response lost — so
+        the "old" value the surviving execution reports may be the put's
+        own ``value``.
+        """
+        admissible = self.admissible(key)
+        if may_duplicate:
+            admissible.add(value)
+        ok = observed_old in admissible
+        self._admissible[key] = {value}
+        return ok
+
+    def put_unresolved(self, key: str, value) -> None:
+        """A put whose response never arrived: it may have executed once,
+        more than once, or not at all — the new value joins the set."""
+        self._admissible[key] = self.admissible(key) | {value}
+
+    def get_succeeded(self, key: str, observed) -> bool:
+        """A get completed: the observed value must be admissible, and
+        afterwards it is the *only* admissible value."""
+        ok = observed in self.admissible(key)
+        self._admissible[key] = {observed}
+        return ok

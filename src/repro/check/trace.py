@@ -1,0 +1,134 @@
+"""The trace: a replayable, shrinkable list of simulation operations.
+
+A :class:`Trace` is plain data — operations plus the fault schedule —
+so a failing run can be dumped to JSON, mailed around, reloaded with
+``python -m repro simtest --replay FILE``, and cut down by the shrinker
+without ever re-running the generator.
+
+Every operation that refers to a credential does so through a stable
+``ref`` string assigned at generation time (``d0``, ``d1``, ...), never
+through process-global credential serials.  A ``publish`` or ``revoke``
+whose ``ref`` is missing from the (possibly shrunken) trace is a
+deterministic no-op in both the executor and the oracles, which is what
+lets delta debugging delete arbitrary subsets and still replay the rest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..faults.plan import FaultEvent, FaultKind, FaultPlan
+
+SCHEMA = "simtest/v1"
+
+#: Operation kinds a trace may contain (see gen.py for their arguments).
+OP_KINDS = frozenset(
+    {
+        "delegate",
+        "publish",
+        "revoke",
+        "authorize",
+        "view_resolve",
+        "view_read",
+        "view_write",
+        "rpc_get",
+        "rpc_put",
+        "rpc_check",
+        "advance",
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    """One operation: a kind plus JSON-scalar arguments."""
+
+    kind: str
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ValueError(f"unknown simtest op kind {self.kind!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": self.kind, **{k: self.args[k] for k in sorted(self.args)}}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Op":
+        payload = dict(data)
+        kind = payload.pop("op")
+        return cls(kind=kind, args=payload)
+
+    def describe(self) -> str:
+        detail = " ".join(f"{k}={self.args[k]}" for k in sorted(self.args))
+        return f"{self.kind} {detail}".strip()
+
+
+class Trace:
+    """A seeded workload plus its (optional) fault schedule."""
+
+    def __init__(
+        self,
+        *,
+        seed: int,
+        ops: list[Op],
+        chaos: bool = False,
+        faults: list[dict] | None = None,
+    ) -> None:
+        self.seed = seed
+        self.ops = list(ops)
+        self.chaos = chaos
+        self.faults = [dict(f) for f in (faults or [])]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def with_ops(self, ops: list[Op]) -> "Trace":
+        """The same world (seed, faults) replaying a different op list —
+        how the shrinker probes candidate subsets."""
+        return Trace(seed=self.seed, ops=list(ops), chaos=self.chaos,
+                     faults=self.faults)
+
+    def fault_plan(self) -> FaultPlan:
+        plan = FaultPlan()
+        for entry in self.faults:
+            plan.add(
+                FaultEvent(
+                    at=entry["at"],
+                    kind=FaultKind(entry["kind"]),
+                    duration=entry.get("duration", 0.0),
+                    params=dict(entry.get("params", {})),
+                )
+            )
+        return plan
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "seed": self.seed,
+            "chaos": self.chaos,
+            "faults": self.faults,
+            "ops": [op.to_dict() for op in self.ops],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Trace":
+        if data.get("schema") != SCHEMA:
+            raise ValueError(
+                f"not a {SCHEMA} trace (schema={data.get('schema')!r})"
+            )
+        return cls(
+            seed=int(data["seed"]),
+            ops=[Op.from_dict(entry) for entry in data["ops"]],
+            chaos=bool(data.get("chaos", False)),
+            faults=list(data.get("faults", [])),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        return cls.from_dict(json.loads(text))

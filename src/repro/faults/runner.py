@@ -20,14 +20,13 @@ generated ids, so a report never leaks a process-global counter.
 
 from __future__ import annotations
 
-import itertools
 import json
-from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import Any, Callable
 
 from .. import obs
 from ..errors import FaultError, NetworkError, SwitchboardError
+from ..hermetic import hermetic_counters
 from ..obs import names as metric_names
 from .chaos import generate_chaos_plan
 from .injector import FaultInjector
@@ -48,41 +47,9 @@ WAN_LINKS = (("ny-gw", "sd-gw"), ("ny-gw", "se-gw"), ("sd-gw", "se-gw"))
 #: subject / role / re-issuing guard needed to verify deny → re-issue → allow.
 STORM_CREDENTIALS = ("1", "11")
 
-@contextmanager
-def _hermetic_counters() -> Iterator[None]:
-    """Run with fresh process-global id counters, restoring them after.
-
-    Call ids, credential serials, connection ids, and planner instance
-    ids are process-global monotonic counters; their *digit counts* leak
-    into frame sizes and therefore into simulated transmission delay.
-    Resetting them for the scope of a run makes two in-process chaos runs
-    byte-identical, not just two freshly started CLI invocations.  The
-    original iterators are restored on exit so surrounding code keeps its
-    id-uniqueness guarantees.
-    """
-    from ..drbac import delegation as delegation_mod
-    from ..psf import planner as planner_mod
-    from ..switchboard import channel as channel_mod
-
-    # RPC call ids stopped being process-global when endpoints and
-    # channels grew per-instance CallIdPools (correlation-id reuse), so
-    # only the remaining module-level counters need pinning here.
-    saved = (
-        channel_mod._conn_ids,
-        delegation_mod._serial,
-        planner_mod._instance_counter,
-    )
-    channel_mod._conn_ids = itertools.count(1)
-    delegation_mod._serial = itertools.count(1)
-    planner_mod._instance_counter = itertools.count(1)
-    try:
-        yield
-    finally:
-        (
-            channel_mod._conn_ids,
-            delegation_mod._serial,
-            planner_mod._instance_counter,
-        ) = saved
+# Backwards-compatible alias: the guard moved to repro.hermetic so the
+# load generator, simulation tester, and test fixtures share one copy.
+_hermetic_counters = hermetic_counters
 
 
 _RECOVERED_COUNTERS = {
@@ -230,7 +197,7 @@ class ChaosRunner:
     # -- entry point ---------------------------------------------------------
 
     def run(self) -> ChaosReport:
-        with _hermetic_counters(), obs.scoped(enabled=True):
+        with hermetic_counters(), obs.scoped(enabled=True):
             return self._run()
 
     # -- the run -------------------------------------------------------------

@@ -1,0 +1,51 @@
+"""Hermetic execution guards shared by every deterministic harness.
+
+Call ids, credential serials, connection ids, and planner instance ids
+are process-global monotonic counters; their *digit counts* leak into
+frame sizes and therefore into simulated transmission delay.  Pinning
+them for the scope of a run makes two in-process runs byte-identical,
+not just two freshly started CLI invocations.
+
+The chaos harness (:mod:`repro.faults.runner`), the load generator
+(:mod:`repro.load.generator`), the simulation tester
+(:mod:`repro.check`), and the shared test fixture
+(``tests/conftest.py``) all run inside :func:`hermetic_counters`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Iterator
+
+
+@contextmanager
+def hermetic_counters() -> Iterator[None]:
+    """Run with fresh process-global id counters, restoring them after.
+
+    The original iterators are restored on exit so surrounding code keeps
+    its id-uniqueness guarantees.
+    """
+    from .drbac import delegation as delegation_mod
+    from .psf import planner as planner_mod
+    from .switchboard import channel as channel_mod
+
+    # RPC call ids stopped being process-global when endpoints and
+    # channels grew per-instance CallIdPools (correlation-id reuse), so
+    # only the remaining module-level counters need pinning here.
+    saved = (
+        channel_mod._conn_ids,
+        delegation_mod._serial,
+        planner_mod._instance_counter,
+    )
+    channel_mod._conn_ids = itertools.count(1)
+    delegation_mod._serial = itertools.count(1)
+    planner_mod._instance_counter = itertools.count(1)
+    try:
+        yield
+    finally:
+        (
+            channel_mod._conn_ids,
+            delegation_mod._serial,
+            planner_mod._instance_counter,
+        ) = saved

@@ -41,7 +41,7 @@ from ..crypto import KeyStore
 from ..drbac import DrbacEngine
 from ..drbac.cache import CachedAuthorizer
 from ..errors import AuthorizationError
-from ..faults.runner import _hermetic_counters
+from ..hermetic import hermetic_counters
 from ..net.events import EventScheduler
 from ..net.simnet import Network
 from ..net.transport import Transport
@@ -222,7 +222,7 @@ class LoadGenerator:
 
     def run(self, *, pipelined: bool, batching: bool) -> LoadRun:
         """Build a fresh world and push the whole workload through it."""
-        with _hermetic_counters(), obs.scoped(enabled=True) as registry:
+        with hermetic_counters(), obs.scoped(enabled=True) as registry:
             scheduler = EventScheduler()
             network = Network()
             network.add_node("server", domain="LOAD")

@@ -130,6 +130,15 @@ FAULTS_RECOVERED_LOSS = "faults.recovered.loss"
 FAULTS_RECOVERED_REVOCATION = "faults.recovered.revocation"
 FAULTS_RECOVERY_LATENCY = "faults.recovery.latency"
 
+# -- Simulation testing (check/executor.py, check/shrink.py) ----------------
+
+CHECK_OPS = "check.ops"
+CHECK_COMPARISONS = "check.comparisons"
+CHECK_DIVERGENCES = "check.divergences"
+CHECK_RPC_NET_FAILURES = "check.rpc.net_failures"
+CHECK_SHRINK_PROBES = "check.shrink.probes"
+CHECK_SHRINK_REMOVED = "check.shrink.removed_ops"
+
 
 CATALOGUE: tuple[MetricSpec, ...] = (
     MetricSpec(PROOF_SEARCHES, "counter", "proof searches started"),
@@ -246,6 +255,18 @@ CATALOGUE: tuple[MetricSpec, ...] = (
                "revocation storms recovered by re-issuance"),
     MetricSpec(FAULTS_RECOVERY_LATENCY, "histogram",
                "virtual seconds from fault injection to verified recovery"),
+    MetricSpec(CHECK_OPS, "counter", "simtest operations executed"),
+    MetricSpec(CHECK_COMPARISONS, "counter",
+               "simtest oracle comparisons performed"),
+    MetricSpec(CHECK_DIVERGENCES, "counter",
+               "simtest runs stopped by an oracle divergence"),
+    MetricSpec(CHECK_RPC_NET_FAILURES, "counter",
+               "simtest RPC ops that failed at the network layer "
+               "(admissible only under chaos)"),
+    MetricSpec(CHECK_SHRINK_PROBES, "counter",
+               "candidate traces executed while delta-debugging"),
+    MetricSpec(CHECK_SHRINK_REMOVED, "counter",
+               "operations removed from failing traces by the shrinker"),
 )
 
 

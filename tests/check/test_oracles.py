@@ -1,0 +1,125 @@
+"""Unit tests for the reference oracles themselves.
+
+The oracles are the ground truth the simulation checker compares the
+real stack against, so their own semantics are pinned here directly —
+small enough to verify by eye, and tested anyway.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.oracles import DrbacOracle, RpcOracle, ViewAclOracle
+
+
+class TestDrbacOracle:
+    def test_unpublished_edges_do_not_grant(self):
+        oracle = DrbacOracle()
+        oracle.delegate("d0", "Alice", "Org.Member", published=False)
+        assert not oracle.holds("Alice", "Org.Member", 0.0)
+        oracle.publish("d0")
+        assert oracle.holds("Alice", "Org.Member", 0.0)
+
+    def test_revocation_severs_membership(self):
+        oracle = DrbacOracle()
+        oracle.delegate("d0", "Alice", "Org.Member")
+        assert oracle.holds("Alice", "Org.Member", 0.0)
+        oracle.revoke("d0")
+        assert not oracle.holds("Alice", "Org.Member", 0.0)
+
+    def test_expiry_is_strict_after(self):
+        oracle = DrbacOracle()
+        oracle.delegate("d0", "Alice", "Org.Member", expires_at=10.0)
+        # Mirrors Delegation.is_expired: live at the instant, dead after.
+        assert oracle.holds("Alice", "Org.Member", 10.0)
+        assert not oracle.holds("Alice", "Org.Member", 10.000001)
+
+    def test_transitive_chain_through_role_subject(self):
+        oracle = DrbacOracle()
+        oracle.delegate("d0", "Alice", "OrgA.Writer")
+        oracle.delegate("d1", "OrgA.Writer", "OrgB.Member")
+        assert oracle.holds("Alice", "OrgB.Member", 0.0)
+        oracle.revoke("d0")
+        assert not oracle.holds("Alice", "OrgB.Member", 0.0)
+
+    def test_dead_link_in_chain_kills_downstream_only(self):
+        oracle = DrbacOracle()
+        oracle.delegate("d0", "Alice", "OrgA.Writer")
+        oracle.delegate("d1", "OrgA.Writer", "OrgB.Member", expires_at=5.0)
+        assert oracle.holds("Alice", "OrgB.Member", 4.0)
+        assert not oracle.holds("Alice", "OrgB.Member", 6.0)
+        assert oracle.holds("Alice", "OrgA.Writer", 6.0)
+
+    def test_missing_ref_operations_are_noops(self):
+        oracle = DrbacOracle()
+        oracle.revoke("ghost")
+        oracle.publish("ghost")
+        assert not oracle.is_published("ghost")
+
+    def test_mutations(self):
+        ignore_revoke = DrbacOracle(mutation="ignore-revoke")
+        ignore_revoke.delegate("d0", "Alice", "Org.Member")
+        ignore_revoke.revoke("d0")
+        assert ignore_revoke.holds("Alice", "Org.Member", 0.0)
+
+        ignore_expiry = DrbacOracle(mutation="ignore-expiry")
+        ignore_expiry.delegate("d0", "Alice", "Org.Member", expires_at=1.0)
+        assert ignore_expiry.holds("Alice", "Org.Member", 99.0)
+
+        with pytest.raises(ValueError, match="unknown oracle mutation"):
+            DrbacOracle(mutation="ignore-everything")
+
+
+class TestViewAclOracle:
+    def _oracle(self):
+        drbac = DrbacOracle()
+        rules = [("Org.Admin", "ViewAdmin"), ("Org.Member", "ViewMember")]
+        return drbac, ViewAclOracle(drbac, rules, default="ViewAnon")
+
+    def test_first_provable_role_wins(self):
+        drbac, acl = self._oracle()
+        drbac.delegate("d0", "Alice", "Org.Member")
+        drbac.delegate("d1", "Alice", "Org.Admin")
+        assert acl.resolve("Alice", 0.0) == "ViewAdmin"
+        drbac.revoke("d1")
+        assert acl.resolve("Alice", 0.0) == "ViewMember"
+
+    def test_default_and_no_default(self):
+        drbac, acl = self._oracle()
+        assert acl.resolve("mallory", 0.0) == "ViewAnon"
+        bare = ViewAclOracle(drbac, [("Org.Admin", "ViewAdmin")])
+        assert bare.resolve("mallory", 0.0) is None
+
+
+class TestRpcOracle:
+    def test_unset_key_admits_none_only(self):
+        oracle = RpcOracle()
+        assert oracle.admissible("k") == {None}
+        assert oracle.get_succeeded("k", None)
+        assert not oracle.get_succeeded("k2", "surprise")
+
+    def test_put_then_get_collapses(self):
+        oracle = RpcOracle()
+        assert oracle.put_succeeded("k", "v1", None)
+        assert oracle.admissible("k") == {"v1"}
+        assert oracle.get_succeeded("k", "v1")
+        assert not oracle.get_succeeded("k", "v0")
+
+    def test_unresolved_put_widens_until_a_read(self):
+        oracle = RpcOracle()
+        oracle.put_succeeded("k", "v1", None)
+        oracle.put_unresolved("k", "v2")
+        assert oracle.admissible("k") == {"v1", "v2"}
+        # Either value is a legal read; the read collapses the set.
+        assert oracle.get_succeeded("k", "v2")
+        assert oracle.admissible("k") == {"v2"}
+
+    def test_duplicated_put_may_observe_its_own_value(self):
+        oracle = RpcOracle()
+        oracle.put_succeeded("k", "v1", None)
+        # Retried put: first execution's response lost, second returns v2.
+        assert not oracle.put_succeeded("k", "v2", "v2")
+        oracle2 = RpcOracle()
+        oracle2.put_succeeded("k", "v1", None)
+        assert oracle2.put_succeeded("k", "v2", "v2", may_duplicate=True)
+        assert oracle2.admissible("k") == {"v2"}

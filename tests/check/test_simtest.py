@@ -1,0 +1,115 @@
+"""End-to-end simulation checker tests: determinism, divergence, shrink.
+
+The expensive claims (long calm runs, chaos sweeps) are marked ``slow``
+and excluded from tier-1; short runs keep the core guarantees in every
+run: byte-identical reports, clean oracles on the real stack, and a
+mutation that is detected and shrunk to a handful of operations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import SimTester, generate_trace, run_simtest, shrink_trace
+
+
+@pytest.fixture(scope="module")
+def tester(key_store):
+    return SimTester(key_store=key_store)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_report(self, tester):
+        trace = generate_trace(seed=7, steps=120)
+        first = tester.run(trace)
+        second = tester.run(trace)
+        assert first.to_json() == second.to_json()
+        assert first.transcript_digest() == second.transcript_digest()
+
+    def test_chaos_run_is_also_deterministic(self, tester):
+        trace = generate_trace(seed=2, steps=120, chaos=True)
+        first = tester.run(trace)
+        second = tester.run(trace)
+        assert first.to_json() == second.to_json()
+
+    def test_report_carries_metrics_and_counts(self, tester):
+        trace = generate_trace(seed=9, steps=80)
+        report = tester.run(trace)
+        assert report.executed == 80
+        assert report.comparisons > 0
+        data = report.to_dict()
+        assert data["schema"] == "simtest-report/v1"
+        assert data["metrics"]["counters"]["check.ops"] == 80
+
+
+class TestOraclesAgree:
+    @pytest.mark.parametrize("seed", [1, 7, 13])
+    def test_calm_runs_are_divergence_free(self, tester, seed):
+        trace = generate_trace(seed=seed, steps=150)
+        report = tester.run(trace)
+        assert report.ok, report.summary()
+
+    @pytest.mark.parametrize("seed", [3, 5])
+    def test_chaos_runs_are_divergence_free(self, tester, seed):
+        trace = generate_trace(seed=seed, steps=150, chaos=True)
+        report = tester.run(trace)
+        assert report.ok, report.summary()
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", list(range(1, 9)))
+    def test_chaos_sweep(self, tester, seed):
+        trace = generate_trace(seed=seed, steps=400, chaos=True)
+        report = tester.run(trace)
+        assert report.ok, report.summary()
+
+    @pytest.mark.slow
+    def test_long_calm_run(self, tester):
+        trace = generate_trace(seed=7, steps=1000)
+        report = tester.run(trace)
+        assert report.ok, report.summary()
+
+
+class TestMutationDetectionAndShrink:
+    """The checker's own fire drill: break an oracle, catch it, shrink it."""
+
+    def test_ignore_revoke_shrinks_to_a_tiny_repro(self, key_store):
+        mutant = SimTester(key_store=key_store, mutation="ignore-revoke")
+        trace = generate_trace(seed=7, steps=300)
+        report = mutant.run(trace)
+        assert not report.ok
+        result = shrink_trace(trace, mutant)
+        assert len(result.trace.ops) <= 10
+        assert result.removed >= 290
+        # The minimal repro must still mention a revoke: that is the
+        # semantic the mutation broke.
+        assert any(op.kind == "revoke" for op in result.trace.ops)
+        # And it replays: the shrunken trace alone still diverges.
+        assert not mutant.run(result.trace).ok
+
+    def test_shrunken_trace_is_clean_without_the_mutation(self, key_store, tester):
+        mutant = SimTester(key_store=key_store, mutation="ignore-revoke")
+        trace = generate_trace(seed=7, steps=300)
+        result = shrink_trace(trace, mutant)
+        assert tester.run(result.trace).ok
+
+    @pytest.mark.slow
+    def test_ignore_expiry_is_caught_too(self, key_store):
+        mutant = SimTester(key_store=key_store, mutation="ignore-expiry")
+        trace = generate_trace(seed=11, steps=500)
+        report = mutant.run(trace)
+        assert not report.ok
+        result = shrink_trace(trace, mutant)
+        assert len(result.trace.ops) <= 10
+
+    def test_shrink_requires_a_diverging_trace(self, tester):
+        trace = generate_trace(seed=1, steps=30)
+        with pytest.raises(ValueError, match="diverging trace"):
+            shrink_trace(trace, tester)
+
+
+class TestRunSimtest:
+    def test_convenience_wrapper(self, key_store):
+        trace, report, tester = run_simtest(seed=4, steps=60, key_store=key_store)
+        assert len(trace.ops) == 60
+        assert report.ok
+        assert isinstance(tester, SimTester)

@@ -1,0 +1,78 @@
+"""Trace serialization: dump, reload, replay — the repro file format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.gen import generate_trace
+from repro.check.trace import SCHEMA, Op, Trace
+from repro.faults.plan import FaultKind
+
+
+class TestOp:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown simtest op kind"):
+            Op("teleport", {})
+
+    def test_dict_roundtrip_preserves_args(self):
+        op = Op("rpc_put", {"subject": "Bob", "key": "k1", "value": "v9"})
+        assert Op.from_dict(op.to_dict()) == op
+        assert op.to_dict()["op"] == "rpc_put"
+
+    def test_describe_is_sorted_and_stable(self):
+        op = Op("delegate", {"ref": "d0", "issuer": "OrgA"})
+        assert op.describe() == "delegate issuer=OrgA ref=d0"
+
+
+class TestTraceJson:
+    def test_roundtrip_identity(self):
+        trace = generate_trace(seed=3, steps=60, chaos=True)
+        clone = Trace.from_json(trace.to_json())
+        assert clone.to_json() == trace.to_json()
+        assert clone.seed == trace.seed
+        assert clone.chaos is True
+        assert [op.to_dict() for op in clone.ops] == [
+            op.to_dict() for op in trace.ops
+        ]
+
+    def test_schema_is_checked(self):
+        with pytest.raises(ValueError, match="not a simtest/v1 trace"):
+            Trace.from_json('{"schema": "other/v9", "seed": 1, "ops": []}')
+
+    def test_fault_plan_rebuilds_typed_events(self):
+        trace = generate_trace(seed=3, steps=120, chaos=True)
+        assert trace.faults, "chaos trace should carry faults"
+        plan = trace.fault_plan()
+        events = plan.events
+        assert len(events) == len(trace.faults)
+        assert all(isinstance(e.kind, FaultKind) for e in events)
+
+    def test_with_ops_keeps_world_fixed(self):
+        trace = generate_trace(seed=5, steps=40, chaos=True)
+        sub = trace.with_ops(trace.ops[:7])
+        assert len(sub) == 7
+        assert sub.seed == trace.seed
+        assert sub.faults == trace.faults
+        assert sub.to_dict()["schema"] == SCHEMA
+
+
+class TestGenerator:
+    def test_same_seed_same_trace(self):
+        a = generate_trace(seed=11, steps=200)
+        b = generate_trace(seed=11, steps=200)
+        assert a.to_json() == b.to_json()
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(seed=11, steps=200)
+        b = generate_trace(seed=12, steps=200)
+        assert a.to_json() != b.to_json()
+
+    def test_requested_length_and_variety(self):
+        trace = generate_trace(seed=2, steps=300)
+        assert len(trace.ops) == 300
+        kinds = {op.kind for op in trace.ops}
+        assert {"delegate", "revoke", "authorize", "rpc_put", "advance"} <= kinds
+
+    def test_steps_must_be_positive(self):
+        with pytest.raises(ValueError, match="steps must be"):
+            generate_trace(seed=1, steps=0)

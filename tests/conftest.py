@@ -5,18 +5,35 @@ RSA key generation dominates test time, so a session-scoped
 shared by every test that doesn't specifically exercise key generation,
 and the full mail scenario is built once for read-only assertions
 (mutating tests request a fresh one via ``scenario_factory``).
+
+The autouse ``hermetic`` fixture pins the process-global id counters
+(connection ids, credential serials, planner instance ids) to fresh
+``count(1)`` iterators around every test and resets the metrics registry
+afterwards, so no test observes ids or metrics leaked by whichever tests
+happened to run before it — the same guarantee the chaos/load/simtest
+harnesses provide for their own runs.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.clock import ManualClock
 from repro.crypto import KeyStore
 from repro.drbac import DrbacEngine
+from repro.hermetic import hermetic_counters
 from repro.mail import build_scenario
 
 TEST_KEY_BITS = 512
+
+
+@pytest.fixture(autouse=True)
+def hermetic():
+    """Fresh id counters per test; metrics registry reset afterwards."""
+    with hermetic_counters():
+        yield
+    obs.reset()
 
 
 @pytest.fixture(scope="session")

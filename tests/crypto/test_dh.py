@@ -37,3 +37,40 @@ class TestValidation:
     def test_public_value_in_range(self):
         dh = DiffieHellman()
         assert 1 < dh.public_value < MODP_2048_PRIME - 1
+
+
+class TestKnownAnswers:
+    """Fixed exponents pin the full derivation, domain tag included.
+
+    The 32-byte key is ``sha256(b"repro-dh-v1|" + int_to_bytes(shared))``;
+    any drift in the tag, the byte codec, or the modular arithmetic moves
+    these digests — and silently breaks recorded Switchboard transcripts.
+    """
+
+    def test_textbook_small_group(self):
+        # p=23, g=5, a=6, b=15: the classic worked example.
+        alice = DiffieHellman(prime=23, generator=5, _private=6)
+        bob = DiffieHellman(prime=23, generator=5, _private=15)
+        assert alice.public_value == 8
+        assert bob.public_value == 19
+        shared = alice.compute_shared(bob.public_value)
+        assert shared == bob.compute_shared(alice.public_value)
+        assert shared.hex() == (
+            "9c17522de13300cf1a4fc296f55cfb7268c2de3a0877110a108ccdd12e68c50e"
+        )
+
+    def test_modp_2048_fixed_exponents(self):
+        alice = DiffieHellman(_private=0xA5A5A5A5)
+        bob = DiffieHellman(_private=0x5A5A5A5A)
+        shared = alice.compute_shared(bob.public_value)
+        assert shared == bob.compute_shared(alice.public_value)
+        assert shared.hex() == (
+            "d8834271de4640674d11c22110014dab09299054f240124425c0591a2783de65"
+        )
+
+    def test_shared_key_commutes_for_random_parties(self):
+        for _ in range(3):
+            alice, bob = DiffieHellman(), DiffieHellman()
+            assert alice.compute_shared(bob.public_value) == bob.compute_shared(
+                alice.public_value
+            )

@@ -112,3 +112,41 @@ class TestByteCodec:
 
     def test_big_endian(self):
         assert int_to_bytes(0x0102) == b"\x01\x02"
+
+
+class TestKnownAnswers:
+    """Fixed vectors pinning the implementations, not just their laws.
+
+    A property suite can pass with a subtly different algorithm (e.g. an
+    inverse normalized into the wrong range); these vectors cannot.
+    """
+
+    def test_modinv_textbook_vector(self):
+        # RSA-textbook staple: 17^-1 mod 3120 (phi of 3233).
+        assert modinv(17, 3120) == 2753
+        assert (17 * 2753) % 3120 == 1
+
+    def test_egcd_textbook_vector(self):
+        # gcd(240, 46) = 2 = 240*(-9) + 46*47.
+        assert egcd(240, 46) == (2, -9, 47)
+
+    def test_modp_2048_is_a_safe_prime_group(self):
+        # RFC 3526 group 14: p and (p-1)/2 both prime, generator 2.
+        from repro.crypto.dh import MODP_2048_GENERATOR, MODP_2048_PRIME
+
+        assert MODP_2048_PRIME.bit_length() == 2048
+        assert MODP_2048_GENERATOR == 2
+        assert is_probable_prime(MODP_2048_PRIME, rounds=8)
+        assert is_probable_prime((MODP_2048_PRIME - 1) // 2, rounds=8)
+
+    def test_int_to_bytes_vectors(self):
+        assert int_to_bytes(0) == b"\x00"
+        assert int_to_bytes(255) == b"\xff"
+        assert int_to_bytes(256) == b"\x01\x00"
+        assert int_to_bytes(65536) == b"\x01\x00\x00"
+
+    @given(st.integers(min_value=2, max_value=10**9))
+    def test_modinv_of_inverse_is_identity(self, a):
+        p = 2**31 - 1  # Mersenne prime
+        inv = modinv(a % p or 1, p)
+        assert modinv(inv, p) == (a % p or 1)

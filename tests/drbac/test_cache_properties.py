@@ -113,3 +113,102 @@ def test_shard_placement_is_deterministic(key_store, ops):
         sizes.append(cache.shard_sizes())
         cache.clear()
     assert sizes[0] == sizes[1]
+
+
+# -- model-based state machine -------------------------------------------
+#
+# The simulation checker's naive dRBAC oracle (repro.check.oracles) is an
+# independent executable model of role membership.  Here Hypothesis
+# drives the cached authorizer and the oracle through one interleaving of
+# delegate / publish / revoke / advance and demands they agree at every
+# authorization, including across cross-namespace role chains
+# (Alice -> OrgA.Reader -> OrgB.Member) that the list-based strategies
+# above never build.
+
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.check.oracles import DrbacOracle
+from repro.crypto import KeyStore
+
+_MACHINE_ROLES = ["OrgA.Reader", "OrgB.Member"]
+_MACHINE_KEYS = KeyStore(key_bits=512)
+
+
+class CacheVsOracleMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.clock = ManualClock()
+        self.engine = DrbacEngine(key_store=_MACHINE_KEYS, clock=self.clock)
+        self.cache = CachedAuthorizer(self.engine, max_entries=4, shards=2)
+        self.oracle = DrbacOracle()
+        self.creds = {}
+        self.published = set()
+
+    @rule(
+        subject=st.sampled_from(SUBJECTS + _MACHINE_ROLES),
+        role=st.sampled_from(_MACHINE_ROLES),
+        ttl=st.one_of(st.none(), st.floats(min_value=1.0, max_value=40.0)),
+        publish=st.booleans(),
+    )
+    def delegate(self, subject, role, ttl, publish):
+        if subject == role:
+            return  # self-edges prove nothing
+        ref = f"m{len(self.creds)}"
+        expires = None if ttl is None else self.clock.now() + ttl
+        cred = self.engine.delegate(
+            role.split(".")[0], subject, role, expires_at=expires, publish=publish
+        )
+        self.creds[ref] = cred
+        if publish:
+            self.published.add(ref)
+        self.oracle.delegate(
+            ref, subject, role, expires_at=expires, published=publish
+        )
+
+    @rule(pick=st.integers(min_value=0, max_value=63))
+    def publish(self, pick):
+        if not self.creds:
+            return
+        ref = sorted(self.creds)[pick % len(self.creds)]
+        if ref in self.published:
+            return  # re-publishing duplicates repository entries
+        self.published.add(ref)
+        self.engine.repository.publish(self.creds[ref])
+        self.oracle.publish(ref)
+
+    @rule(pick=st.integers(min_value=0, max_value=63))
+    def revoke(self, pick):
+        if not self.creds:
+            return
+        ref = sorted(self.creds)[pick % len(self.creds)]
+        self.engine.revoke(self.creds[ref])
+        self.oracle.revoke(ref)
+
+    @rule(seconds=st.floats(min_value=0.5, max_value=25.0))
+    def advance(self, seconds):
+        self.clock.advance(seconds)
+
+    @rule(
+        subject=st.sampled_from(SUBJECTS + ["mallory"]),
+        role=st.sampled_from(_MACHINE_ROLES),
+    )
+    def authorize(self, subject, role):
+        observed = self.cache.is_authorized(subject, role)
+        expected = self.oracle.holds(subject, role, self.clock.now())
+        assert observed == expected, (
+            f"cache says {observed}, oracle says {expected} "
+            f"for {subject} -> {role} at t={self.clock.now()}"
+        )
+
+    @invariant()
+    def capacity(self):
+        assert len(self.cache) <= 4
+
+    def teardown(self):
+        self.cache.clear()
+
+
+CacheVsOracleMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+TestCacheVsOracle = CacheVsOracleMachine.TestCase

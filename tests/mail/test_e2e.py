@@ -196,3 +196,38 @@ class TestFullServiceRequests:
         )
         assert scenario.server.fetchMail("Alice")[0]["body"] == "ULTRA-PRIVATE"
         assert snoops and not any(b"ULTRA-PRIVATE" in p for p in snoops)
+
+
+class TestReissueAfterRevocation:
+    """Revocation is not a dead end: re-certification restores service.
+
+    Bob's NY membership chains (11) Bob -> Comp.SD.Member through (2) the
+    SD -> NY cross-domain mapping.  Revoking (11) severs the chain; the
+    SD guard issuing a *fresh* membership credential must restore it —
+    with a new credential id, since revocation is forever — and the full
+    service-request flow must come back with it.
+    """
+
+    def test_fresh_credential_restores_bobs_service(self, scenario):
+        engine = scenario.engine
+        assert engine.find_proof("Bob", "Comp.NY.Member") is not None
+
+        revoked = scenario.credentials[11]
+        engine.revoke(revoked)
+        assert engine.find_proof("Bob", "Comp.NY.Member") is None
+
+        fresh = scenario.sd_guard.certify_member("Bob")
+        assert fresh.credential_id != revoked.credential_id
+        proof = engine.find_proof("Bob", "Comp.NY.Member")
+        assert proof is not None
+        chain_ids = {d.credential_id for d in proof.chain}
+        assert fresh.credential_id in chain_ids
+        assert revoked.credential_id not in chain_ids
+
+        session = scenario.psf.request_service(
+            ServiceRequest(client="Bob", client_node="sd-pc1", interface="MailI")
+        )
+        session.access.sendMail(
+            {"sender": "Bob", "recipient": "Alice", "subject": "back", "body": "b"}
+        )
+        assert scenario.server.fetchMail("Alice")
