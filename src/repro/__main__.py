@@ -37,7 +37,18 @@ pure-Python reference oracles predict every observable.  On divergence
 the trace is delta-debugged down to a minimal replayable repro
 (``--replay FILE`` re-runs one).  ``--mutate ignore-revoke`` /
 ``--mutate ignore-expiry`` intentionally breaks an oracle to demonstrate
-detection and shrinking end to end.  Same seed, byte-identical JSON.
+detection and shrinking end to end.  Same seed, byte-identical JSON.  On
+divergence, the flight-recorder snapshot captured at the moment the
+oracles disagreed is written next to the shrunk repro
+(``<out>-flight.json``).
+
+``python -m repro trace --seed N [--chaos] [--out F]`` runs the
+distributed-tracing scenario (:mod:`repro.obs.dist`): an authorization-
+and view-guarded RPC workload with wire trace-context propagation on,
+exported as Chrome/Perfetto trace-event JSON — load the output at
+https://ui.perfetto.dev.  ``--chaos`` adds frame loss and at-least-once
+retries, so the trace shows per-attempt spans.  Without ``--out`` the
+JSON goes to stdout; same seed, byte-identical output.
 """
 
 from __future__ import annotations
@@ -461,7 +472,78 @@ def run_simtest(argv: list[str] | None = None) -> int:
     with open(out_path, "w", encoding="utf-8") as handle:
         handle.write(result.trace.to_json() + "\n")
     print(f"repro simtest: minimal repro written to {out_path}", file=sys.stderr)
+    if report.flight is not None:
+        # The flight recorder froze the last events + live spans at the
+        # moment the oracles diverged; park the dump next to the repro.
+        stem = out_path[:-5] if out_path.endswith(".json") else out_path
+        flight_path = f"{stem}-flight.json"
+        with open(flight_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report.flight, indent=2, sort_keys=True) + "\n")
+        print(
+            f"repro simtest: flight-recorder dump written to {flight_path}",
+            file=sys.stderr,
+        )
     return 1
+
+
+def run_trace(argv: list[str] | None = None) -> int:
+    """The ``repro trace`` subcommand."""
+    from .obs.dist import run_trace as build_trace
+
+    argv = list(argv or [])
+    usage = "usage: python -m repro trace [--seed N] [--chaos] [--out F]"
+    seed = 7
+    chaos = False
+    out_path: str | None = None
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "--chaos":
+            chaos = True
+            index += 1
+            continue
+        if arg in ("--seed", "--out"):
+            if index + 1 >= len(argv):
+                print(f"repro trace: {arg} needs a value", file=sys.stderr)
+                print(usage, file=sys.stderr)
+                return 2
+            value = argv[index + 1]
+            try:
+                if arg == "--seed":
+                    seed = int(value)
+                else:
+                    out_path = value
+            except ValueError:
+                print(f"repro trace: bad value for {arg}: {value!r}", file=sys.stderr)
+                return 2
+            index += 2
+            continue
+        print(f"repro trace: unknown argument {arg!r}", file=sys.stderr)
+        print(usage, file=sys.stderr)
+        return 2
+    try:
+        trace = build_trace(seed, chaos=chaos)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"repro trace: run failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    rendered = json.dumps(trace, indent=2, sort_keys=True)
+    if out_path is None:
+        print(rendered)
+        return 0
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(rendered + "\n")
+    other = trace.get("otherData", {})
+    spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+    instants = sum(1 for e in trace["traceEvents"] if e.get("ph") == "i")
+    print(
+        f"repro trace seed={seed} chaos={'yes' if chaos else 'no'}: "
+        f"{spans} spans, {instants} events, "
+        f"{other.get('retries', 0)} retries, "
+        f"{other.get('frames_lost', 0)} frames lost, "
+        f"makespan {other.get('virtual_makespan_s', 0.0):.4f}s"
+    )
+    print(f"written to {out_path} (load at https://ui.perfetto.dev)")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -474,6 +556,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_bench_load(argv[1:])
     if argv and argv[0] == "simtest":
         return run_simtest(argv[1:])
+    if argv and argv[0] == "trace":
+        return run_trace(argv[1:])
     key_bits = 512
     if argv and argv[0] == "--full-keys":
         key_bits = 1024
@@ -483,7 +567,8 @@ def main(argv: list[str] | None = None) -> int:
             "usage: python -m repro [--full-keys] | stats [--json] [--full-keys]"
             " | chaos [--seed N] [--duration S] [--json]"
             " | bench-load [--seed N] [--clients C] [--json]"
-            " | simtest [--seed N] [--steps S] [--chaos] [--json]",
+            " | simtest [--seed N] [--steps S] [--chaos] [--json]"
+            " | trace [--seed N] [--chaos] [--out F]",
             file=sys.stderr,
         )
         return 2

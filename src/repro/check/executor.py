@@ -180,6 +180,9 @@ class SimReport:
     transcript: list[str]
     divergence: Divergence | None
     metrics: dict
+    flight: dict | None = None
+    """Flight-recorder dump frozen at the diverging op; ``None`` on
+    agreeing runs keeps the JSON byte-stable."""
 
     @property
     def ok(self) -> bool:
@@ -204,6 +207,7 @@ class SimReport:
             "transcript_digest": self.transcript_digest(),
             "divergence": None if self.divergence is None else self.divergence.to_dict(),
             "metrics": self.metrics,
+            "flight": self.flight,
         }
 
     def to_json(self, *, indent: int | None = None) -> str:
@@ -326,14 +330,20 @@ class SimTester:
             "advance": self._op_advance,
         }
         executed = 0
+        flight: dict | None = None
         for index, op in enumerate(trace.ops):
             obs.counter(metric_names.CHECK_OPS).inc()
             outcome, diverged = handlers[op.kind](index, op, trace.chaos)
+            obs.event("check.op", index=index, kind=op.kind, outcome=outcome)
             transcript.append(f"{index}:{op.kind}:{outcome}")
             executed += 1
             if diverged is not None:
                 obs.counter(metric_names.CHECK_DIVERGENCES).inc()
                 divergence = diverged
+                # Freeze the recorder at the diverging op: the dump
+                # carries the audit/event history leading into it and
+                # rides alongside the shrunk repro.
+                flight = obs.flight_snapshot("simtest.divergence")
                 break
 
         return SimReport(
@@ -349,6 +359,7 @@ class SimTester:
             transcript=transcript,
             divergence=divergence,
             metrics=obs.snapshot(),
+            flight=flight,
         )
 
     # -- comparison helper --------------------------------------------------

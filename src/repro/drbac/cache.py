@@ -149,14 +149,23 @@ class CachedAuthorizer:
     ) -> AuthorizationResult:
         """Serve from cache while the cached decision remains sound."""
         if credentials is not None:
-            return self.engine.authorize(
-                subject, role, credentials, required_attributes=required_attributes
+            try:
+                result = self.engine.authorize(
+                    subject, role, credentials, required_attributes=required_attributes
+                )
+            except AuthorizationError:
+                self._audit(subject, role, cache="bypass", verdict="deny")
+                raise
+            self._audit(
+                subject, role, cache="bypass", verdict="grant",
+                chain=len(result.proof.chain),
             )
+            return result
         key = self._key(subject, role, required_attributes)
         shard = self._shard_for(key)
         entry = shard.entries.get(key)
         if entry is not None:
-            served = self._serve(shard, key, entry)
+            served = self._serve(shard, key, entry, subject, role)
             if served is not None:
                 return served
         self.stats.misses += 1
@@ -167,6 +176,7 @@ class CachedAuthorizer:
                 subject, role, required_attributes=required_attributes
             )
         except AuthorizationError as denial:
+            self._audit(subject, role, cache="miss", verdict="deny")
             if self.negative:
                 self._insert(
                     shard,
@@ -174,12 +184,39 @@ class CachedAuthorizer:
                     _Entry(result=None, denial=str(denial), repo_version=repo_version),
                 )
             raise
+        self._audit(
+            subject, role, cache="miss", verdict="grant",
+            chain=len(result.proof.chain),
+        )
         self._insert(shard, key, _Entry(result=result))
         self._watch(shard, key, result)
         return result
 
+    @staticmethod
+    def _audit(
+        subject: Subject | str,
+        role: Role | str,
+        *,
+        cache: str,
+        verdict: str,
+        chain: int = 0,
+    ) -> None:
+        """One audit-trail record per authorization decision: who asked
+        for what, how it was answered, and how long the proof chain was
+        (0 for denials) — the auditable-delegation trail the flight
+        recorder replays after a failure."""
+        obs.event(
+            "auth.decision", principal=str(subject), target=str(role),
+            cache=cache, verdict=verdict, chain=chain,
+        )
+
     def _serve(
-        self, shard: _Shard, key: tuple, entry: _Entry
+        self,
+        shard: _Shard,
+        key: tuple,
+        entry: _Entry,
+        subject: Subject | str,
+        role: Role | str,
     ) -> AuthorizationResult | None:
         """Return the cached decision if still sound, else drop it."""
         if entry.result is None:
@@ -188,6 +225,7 @@ class CachedAuthorizer:
                 shard.entries.move_to_end(key)
                 self.stats.negative_hits += 1
                 obs.counter(metric_names.CACHE_NEGATIVE_HITS).inc()
+                self._audit(subject, role, cache="negative", verdict="deny")
                 raise AuthorizationError(entry.denial)
             self._remove(shard, key, entry, why="invalidated")
             return None
@@ -196,6 +234,10 @@ class CachedAuthorizer:
             shard.entries.move_to_end(key)
             self.stats.hits += 1
             obs.counter(metric_names.CACHE_HITS).inc()
+            self._audit(
+                subject, role, cache="hit", verdict="grant",
+                chain=len(cached.proof.chain),
+            )
             return cached
         # Revoked or lapsed: drop it and fall through to a fresh search.
         self._remove(shard, key, entry, why="invalidated")

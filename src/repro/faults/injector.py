@@ -183,5 +183,9 @@ class FaultInjector:
         self.log.append(
             {"t": self.scheduler.now(), "phase": phase, **event.to_dict()}
         )
+        obs.event(
+            f"fault.{phase}", kind=event.kind.value,
+            fault_class=event.kind.fault_class, fault_at=event.at,
+        )
         for listener in list(self._listeners):
             listener(event, phase)

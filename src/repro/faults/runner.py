@@ -101,6 +101,9 @@ class ChaosReport:
     recoveries: dict[str, int]
     violations: list[dict]
     metrics: dict
+    flight: dict | None = None
+    """Flight-recorder dump captured iff the invariant sweep failed;
+    ``None`` on clean runs keeps the JSON byte-stable."""
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -113,6 +116,7 @@ class ChaosReport:
             "recoveries": self.recoveries,
             "violations": self.violations,
             "metrics": self.metrics,
+            "flight": self.flight,
         }
 
     def to_json(self, *, indent: int | None = None) -> str:
@@ -309,6 +313,10 @@ class ChaosRunner:
                 scheduler.run_until(probe.at)
             ok, detail = probe.fn()
             now = scheduler.now()
+            obs.event(
+                "chaos.probe", kind=probe.kind, fault=probe.event.kind.value,
+                ok=ok, detail=detail,
+            )
             results.append(
                 ProbeResult(
                     at=round(now, 6),
@@ -355,6 +363,11 @@ class ChaosRunner:
             ),
         )
         violations = suite.run()
+        flight = None
+        if violations:
+            # The invariant sweep failed: freeze the flight recorder so
+            # the report carries the events and spans leading up to it.
+            flight = obs.flight_snapshot("chaos.invariant")
 
         return ChaosReport(
             seed=self.seed,
@@ -366,6 +379,7 @@ class ChaosRunner:
             recoveries=recoveries,
             violations=[v.to_dict() for v in violations],
             metrics=obs.snapshot(),
+            flight=flight,
         )
 
     # -- probe construction ---------------------------------------------------

@@ -128,6 +128,15 @@ class LoadRun:
     transcripts: list[list[str]] = field(repr=False)
     cache: dict[str, Any] = field(repr=False)
     net: dict[str, int] = field(repr=False)
+    flight: dict[str, Any] | None = field(default=None, repr=False)
+    """Flight-recorder snapshot taken as the run's world wound down; the
+    report surfaces it only when the serial/pipelined transcripts
+    mismatch."""
+    topology: list[list] | None = field(default=None, repr=False)
+    """Structural client→server span topology, captured only when the run
+    executed with wire tracing (``dist``) on — the differential tests
+    compare it between serial and pipelined runs.  Not part of the JSON
+    report."""
 
     @property
     def throughput(self) -> float:
@@ -224,6 +233,7 @@ class LoadGenerator:
         """Build a fresh world and push the whole workload through it."""
         with hermetic_counters(), obs.scoped(enabled=True) as registry:
             scheduler = EventScheduler()
+            obs.set_tracer_clock(scheduler)
             network = Network()
             network.add_node("server", domain="LOAD")
             for index in range(self.clients):
@@ -281,11 +291,17 @@ class LoadGenerator:
 
             transcripts: list[list[str]] = []
             errors = 0
-            for pipeline in pipelines:
+            for client_index, pipeline in enumerate(pipelines):
                 entries: list[str] = []
-                for result in pipeline.drain(return_exceptions=True):
+                for op_index, result in enumerate(
+                    pipeline.drain(return_exceptions=True)
+                ):
                     if isinstance(result, Exception):
                         errors += 1
+                        obs.event(
+                            "load.error", client=client_index, op=op_index,
+                            error=type(result).__name__,
+                        )
                         entries.append(f"<{type(result).__name__}:{result}>")
                     else:
                         entries.append(repr(result))
@@ -322,6 +338,14 @@ class LoadGenerator:
                         metric_names.RPC_PIPELINE_CALLS
                     ),
                 },
+                # Captured while the scoped obs state is still alive; the
+                # report only surfaces it on a transcript mismatch.
+                flight=obs.flight_snapshot("load.transcript_mismatch"),
+                topology=(
+                    _trace_topology(obs.get_tracer())
+                    if obs.dist_enabled()
+                    else None
+                ),
             )
 
     # -- the comparison report ----------------------------------------------
@@ -333,6 +357,7 @@ class LoadGenerator:
         speedup = (
             serial.makespan_s / fast.makespan_s if fast.makespan_s > 0 else 0.0
         )
+        match = serial.transcripts == fast.transcripts
         return {
             "schema": SCHEMA,
             "seed": self.seed,
@@ -341,9 +366,49 @@ class LoadGenerator:
             "serial": serial.to_dict(),
             "pipelined": fast.to_dict(),
             "speedup": round(speedup, 3),
-            "transcripts_match": serial.transcripts == fast.transcripts,
+            "transcripts_match": match,
             "transcript_digest": transcript_digest(fast.transcripts),
+            # Post-mortem payload only when the differential check failed;
+            # None on clean runs keeps the report byte-stable.
+            "flight": None if match else {
+                "serial": serial.flight,
+                "pipelined": fast.flight,
+            },
         }
+
+
+def _trace_topology(tracer: obs.Tracer) -> list[list]:
+    """Per-call ``[node, target, method, server_spans]`` rows, grouped by
+    client and ordered by issue within each client.
+
+    This is the *structural* shape of the distributed trace — which calls
+    left which client and how many server-side spans stitched to each —
+    deliberately excluding transport decoration (``net.transmit`` spans,
+    batch membership) and timing, both of which batching and pipelining
+    legitimately change.
+    """
+    servers_by_trace: dict[int, int] = {}
+    for root in tracer.finished:
+        if root.name == "rpc.server":
+            servers_by_trace[root.trace_id] = (
+                servers_by_trace.get(root.trace_id, 0) + 1
+            )
+    calls = []
+    for root in tracer.finished:
+        if root.name == "rpc.client":
+            calls.append((
+                str(root.attributes.get("node")),
+                root.start,
+                root.span_id,
+                str(root.attributes.get("target")),
+                str(root.attributes.get("method")),
+                servers_by_trace.get(root.trace_id, 0),
+            ))
+    # Span ids mint in issue order, so (node, start, span_id) reproduces
+    # per-client issue order regardless of completion interleaving.
+    calls.sort(key=lambda c: (c[0], c[1], c[2]))
+    return [[node, target, method, servers]
+            for node, _start, _sid, target, method, servers in calls]
 
 
 def transcript_digest(transcripts: list[list[str]]) -> str:

@@ -85,6 +85,18 @@ class _Entry:
     service: str
     payload: bytes
     on_dropped: DropCallback | None
+    ctx: tuple[int, int] | None = None
+    """(trace_id, span_id) of the span active at enqueue time, so a
+    deferred batch flush — which runs in a scheduler tick with an empty
+    span stack — can still stitch its wire span into the issuing trace."""
+
+
+def _finish_wire_span(span: obs.Span, deliver_at: float) -> None:
+    """Close a wire-transfer span so its bar covers the in-flight window
+    (virtual now → scheduled delivery) rather than the zero-width instant
+    the transmit bookkeeping itself took."""
+    span.finish()
+    span.end = deliver_at
 
 
 _BATCH_MAGIC = b"RBAT1"
@@ -199,6 +211,10 @@ class Transport:
         self.stats.bytes_sent += len(payload)
         self._snoop(self.network.path_links(path), payload, src, dst)
         entry = _Entry(service=service, payload=payload, on_dropped=on_dropped)
+        if obs.dist_enabled():
+            current = obs.get_tracer().current
+            if current is not None:
+                entry.ctx = current.context()
         if self.batching is None:
             return self._transmit(src, dst, [entry], max_reroutes, path=path)
         return self._enqueue(src, dst, entry)
@@ -296,6 +312,20 @@ class Transport:
         self._flow_clock[flow] = deliver_at
         delay = deliver_at - now
 
+        span = None
+        if obs.dist_enabled():
+            tracer = obs.get_tracer()
+            # Parent preference: the span active right now (serial send
+            # under an activated rpc span), else the enqueue-time context
+            # of the first batched frame (deferred flush tick).
+            remote_ctx = next((e.ctx for e in entries if e.ctx is not None), None)
+            span = tracer.start(
+                "net.transmit", parent=tracer.current, remote=remote_ctx,
+                node=src, dst=dst, frames=len(entries), bytes=nbytes,
+            )
+            if len(entries) > 1:
+                span.set(batch=True)
+
         # Failure injection: lossy links eat frames after the eavesdropper
         # has seen them (a passive observer taps before the drop point).
         # A batch is one wire frame: it is lost or carried as a unit.
@@ -305,12 +335,21 @@ class Transport:
                 self.stats.messages_lost += len(entries)
                 if obs.is_enabled():
                     obs.counter(metric_names.NET_LINK_FRAMES_DROPPED).inc()
+                    obs.event(
+                        "net.loss", node=src, dst=dst,
+                        link=f"{link.a}<->{link.b}", frames=len(entries),
+                    )
+                if span is not None:
+                    span.set_error("FrameLost")
+                    _finish_wire_span(span, deliver_at)
                 return delay
 
         self.scheduler.schedule(
             delay,
             lambda: self._deliver(src, dst, entries, path, max_reroutes),
         )
+        if span is not None:
+            _finish_wire_span(span, deliver_at)
         return delay
 
     def _deliver(
@@ -339,6 +378,10 @@ class Transport:
                 return
             self.stats.messages_rerouted += len(entries)
             obs.counter(metric_names.NET_MESSAGES_REROUTED).inc(len(entries))
+            obs.event(
+                "net.reroute", node=src, dst=dst, frames=len(entries),
+                path=">".join(new_path),
+            )
             delay = self.network.path_delay(new_path, self._wire_bytes(entries))
             self.scheduler.schedule(
                 delay,

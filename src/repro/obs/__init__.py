@@ -10,13 +10,21 @@ Usage from instrumented code::
     with obs.span("psf.deploy", plan=len(plan.components)):
         ...
 
-The module holds one active :class:`MetricsRegistry` and one
-:class:`Tracer` per process.  :func:`disable` swaps both for shared
-null twins, making every instrumentation site a single no-op method
-call — the zero-cost mode benchmarks run under (also reachable via the
-``REPRO_OBS=0`` environment variable).  :func:`scoped` installs a fresh
-registry/tracer for the duration of a ``with`` block so tests and
-differential experiments read counters in isolation.
+The module holds one active :class:`MetricsRegistry`, one
+:class:`Tracer`, and one :class:`EventLog` per process.  :func:`disable`
+swaps all three for shared null twins, making every instrumentation site
+a single no-op method call — the zero-cost mode benchmarks run under
+(also reachable via the ``REPRO_OBS=0`` environment variable).
+:func:`scoped` installs fresh state for the duration of a ``with`` block
+so tests and differential experiments read counters in isolation.
+
+Distributed tracing adds a second, independent gate: the ``dist`` flag
+(:func:`dist_enabled`, set per :func:`scoped` block).  It controls
+whether RPC layers *mint and propagate* trace context inside wire frames
+— which changes frame bytes, hence virtual transfer timings — so it
+defaults off and is switched on only by harnesses that want stitched
+cross-node traces (``python -m repro trace``) and by tests.  Local spans,
+events, and the flight recorder work regardless of ``dist``.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from typing import Any, Iterator, Sequence
 
 from ..clock import Clock
 from . import names
+from .events import NULL_EVENT_LOG, Event, EventLog, NullEventLog
 from .metrics import (
     COUNT_BUCKETS,
     DEFAULT_BUCKETS,
@@ -38,14 +47,17 @@ from .metrics import (
     NullRegistry,
 )
 from .trace import NULL_TRACER, NullTracer, PerfClock, Span, Tracer
+from . import flight as _flight
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
     "Span", "Tracer", "NullTracer", "PerfClock",
+    "Event", "EventLog", "NullEventLog",
     "COUNT_BUCKETS", "DEFAULT_BUCKETS",
-    "counter", "gauge", "histogram", "span",
-    "get_registry", "get_tracer", "set_tracer_clock",
-    "enable", "disable", "is_enabled", "reset", "scoped",
+    "counter", "gauge", "histogram", "span", "event",
+    "get_registry", "get_tracer", "get_event_log", "set_tracer_clock",
+    "enable", "disable", "is_enabled", "dist_enabled", "reset", "scoped",
+    "flight_snapshot",
     "snapshot", "format_snapshot", "names",
 ]
 
@@ -57,16 +69,18 @@ _CATALOGUE_BUCKETS: dict[str, tuple[float, ...]] = {
 
 
 class _ObsState:
-    """The process-wide active registry + tracer pair."""
+    """The process-wide active registry + tracer + event-log triple."""
 
-    __slots__ = ("registry", "tracer", "enabled")
+    __slots__ = ("registry", "tracer", "events", "enabled", "dist")
 
     def __init__(self, enabled: bool) -> None:
         self.enabled = enabled
+        self.dist = False
         self.registry: MetricsRegistry = (
             MetricsRegistry() if enabled else NULL_REGISTRY
         )
         self.tracer: Tracer = Tracer() if enabled else NULL_TRACER
+        self.events: EventLog = EventLog() if enabled else NULL_EVENT_LOG
 
 
 _state = _ObsState(os.environ.get("REPRO_OBS", "1").lower() not in ("0", "false", "off"))
@@ -94,10 +108,20 @@ def span(name: str, **attributes: Any) -> Span:
     return _state.tracer.span(name, **attributes)
 
 
+def event(kind: str, /, **fields: Any) -> Event:
+    """Emit a structured event record (a no-op when observation is off)."""
+    return _state.events.emit(kind, **fields)
+
+
 # -- mode control -----------------------------------------------------------
 
 def is_enabled() -> bool:
     return _state.enabled
+
+
+def dist_enabled() -> bool:
+    """True when RPC layers should mint/propagate wire trace context."""
+    return _state.enabled and _state.dist
 
 
 def enable() -> None:
@@ -106,13 +130,16 @@ def enable() -> None:
         _state.enabled = True
         _state.registry = MetricsRegistry()
         _state.tracer = Tracer()
+        _state.events = EventLog()
 
 
 def disable() -> None:
     """Swap in the null twins; every instrumentation site becomes a no-op."""
     _state.enabled = False
+    _state.dist = False
     _state.registry = NULL_REGISTRY
     _state.tracer = NULL_TRACER
+    _state.events = NULL_EVENT_LOG
 
 
 def get_registry() -> MetricsRegistry:
@@ -123,38 +150,59 @@ def get_tracer() -> Tracer:
     return _state.tracer
 
 
+def get_event_log() -> EventLog:
+    return _state.events
+
+
 def set_tracer_clock(clock: Clock) -> None:
-    """Point the active tracer at a different time source (e.g. the
-    simulation's event scheduler, so spans measure virtual time)."""
+    """Point the active tracer (and event log) at a different time source
+    (e.g. the simulation's event scheduler, so spans and events carry
+    virtual time)."""
     _state.tracer.clock = clock
+    _state.events.clock = clock
 
 
 def reset() -> None:
-    """Clear all metrics and retained spans without changing the mode."""
+    """Clear all metrics, spans, and events without changing the mode."""
     _state.registry.reset()
     _state.tracer.reset()
+    _state.events.reset()
 
 
 @contextmanager
 def scoped(
-    *, enabled: bool = True, clock: Clock | None = None
+    *, enabled: bool = True, clock: Clock | None = None, dist: bool | None = None
 ) -> Iterator[MetricsRegistry]:
-    """Install a fresh registry/tracer for the block, then restore.
+    """Install a fresh registry/tracer/event log for the block, then restore.
 
-    Yields the scoped registry so callers can read counters directly::
+    ``dist=True`` additionally turns on wire trace-context propagation for
+    the block; ``None`` inherits the surrounding setting.  Yields the
+    scoped registry so callers can read counters directly::
 
         with obs.scoped() as reg:
             engine.find_proof(...)
         assert reg.counter_value(names.PROOF_FOUND) == 1
     """
-    saved = (_state.enabled, _state.registry, _state.tracer)
+    saved = (_state.enabled, _state.dist, _state.registry, _state.tracer, _state.events)
     _state.enabled = enabled
+    if dist is not None:
+        _state.dist = dist and enabled
     _state.registry = MetricsRegistry() if enabled else NULL_REGISTRY
     _state.tracer = Tracer(clock) if enabled else NULL_TRACER
+    _state.events = EventLog(clock) if enabled else NULL_EVENT_LOG
     try:
         yield _state.registry
     finally:
-        _state.enabled, _state.registry, _state.tracer = saved
+        (_state.enabled, _state.dist, _state.registry,
+         _state.tracer, _state.events) = saved
+
+
+# -- flight recorder --------------------------------------------------------
+
+def flight_snapshot(reason: str, **kwargs: Any) -> dict:
+    """Freeze the last-N events + live/recent spans as replayable JSON
+    (see :mod:`repro.obs.flight`)."""
+    return _flight.snapshot(_state.tracer, _state.events, reason=reason, **kwargs)
 
 
 # -- reporting --------------------------------------------------------------

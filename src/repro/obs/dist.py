@@ -1,0 +1,185 @@
+"""The ``python -m repro trace`` scenario: one stitched cross-node trace.
+
+Builds the smallest world that exercises every distributed-tracing hop —
+a client and a server star-linked over a lossy-capable simulated link,
+frame batching on, an authorization- and view-guarded key-value object
+exported over plain RPC — and replays a short fixed workload through it
+with wire trace-context propagation (``dist``) enabled.  The result is a
+Chrome/Perfetto trace-event JSON object in which a single trace id ties
+together:
+
+* the client-side ``rpc.client`` span (and, under ``--chaos``, one
+  ``rpc.attempt`` child per retransmission),
+* the transport's ``net.transmit`` spans for the batches that carried
+  the frames,
+* the server-side ``rpc.server`` span, with the dRBAC
+  ``drbac.proof.search`` and ``views.acl.resolve`` spans nested under
+  it, and
+* the structured event log (auth verdicts, retries, frame losses) as
+  thread-scoped instants.
+
+Chaos mode sets a 35 % frame-loss rate on the link and issues every call
+through :meth:`~repro.switchboard.rpc.PlainRpcEndpoint.call_with_retry`
+with a seeded exponential backoff policy, so the exported trace shows
+the full at-least-once story: lost transmissions, per-attempt spans, and
+the attempt that finally stitched to a server span.
+
+Everything runs over virtual time under ``hermetic_counters`` inside a
+``dist``-enabled :func:`repro.obs.scoped` block, so one seed produces a
+byte-identical export — the property the CI determinism step diffs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .. import obs
+from ..crypto import KeyStore
+from ..drbac import DrbacEngine
+from ..drbac.cache import CachedAuthorizer
+from ..faults.retry import RetryPolicy
+from ..hermetic import hermetic_counters
+from ..net.events import EventScheduler
+from ..net.simnet import Network
+from ..net.transport import Transport
+from ..switchboard.rpc import PlainRpcEndpoint
+from ..views.acl import ViewAccessPolicy
+from .export import to_chrome_trace
+
+SCHEMA = "repro-trace/v1"
+
+#: Role the legitimate client holds; ``mallory`` never does.
+CLIENT_ROLE = "Trace.Client"
+
+#: Frame-loss probability the chaos variant applies to the only link.
+CHAOS_LOSS_RATE = 0.35
+
+
+class TracedKV:
+    """Guarded key-value object: every call authorizes *and* resolves a view.
+
+    Serving one RPC therefore produces, under the activated ``rpc.server``
+    span, both a ``drbac.proof.search`` child (on cache misses) and a
+    ``views.acl.resolve`` child — the server-side half of the stitched
+    trace — plus ``auth.decision`` / ``view.resolve`` audit events.
+    """
+
+    def __init__(
+        self,
+        authorizer: CachedAuthorizer,
+        policy: ViewAccessPolicy,
+        engine: DrbacEngine,
+        *,
+        initial: dict[str, str],
+    ) -> None:
+        self._authorizer = authorizer
+        self._policy = policy
+        self._engine = engine
+        self._data = dict(initial)
+
+    def _admit(self, subject: str) -> str | None:
+        self._authorizer.authorize(subject, CLIENT_ROLE)
+        decision = self._policy.resolve(subject, self._engine)
+        return decision.view_name if decision is not None else None
+
+    def get(self, subject: str, key: str) -> str | None:
+        self._admit(subject)
+        return self._data.get(key)
+
+    def put(self, subject: str, key: str, value: str) -> str | None:
+        self._admit(subject)
+        old = self._data.get(key)
+        self._data[key] = value
+        return old
+
+    def check(self, subject: str) -> list:
+        """Never raises: the anonymous default view admits strangers."""
+        ok = self._authorizer.is_authorized(subject, CLIENT_ROLE)
+        decision = self._policy.resolve(subject, self._engine)
+        return [ok, decision.view_name if decision is not None else None]
+
+
+#: The fixed workload: enough shape to cover grant/deny, cache miss/hit,
+#: member/anonymous view resolution, and (under chaos) retransmission.
+_OPS: tuple[tuple[str, list], ...] = (
+    ("put", ["alice", "greeting", "hello"]),      # miss -> proof search
+    ("get", ["alice", "greeting"]),               # cache hit
+    ("check", ["alice"]),                         # member view
+    ("get", ["mallory", "greeting"]),             # denial -> RemoteError
+    ("check", ["mallory"]),                       # anonymous default view
+)
+
+
+def run_trace(
+    seed: int, *, chaos: bool = False, key_store: KeyStore | None = None
+) -> dict[str, Any]:
+    """Run the traced scenario and return its Chrome trace-event JSON."""
+    key_store = key_store or KeyStore(key_bits=512)
+    with hermetic_counters(), obs.scoped(enabled=True, dist=True):
+        scheduler = EventScheduler()
+        obs.set_tracer_clock(scheduler)
+        network = Network()
+        network.add_node("client", domain="TRACE")
+        network.add_node("server", domain="TRACE")
+        network.add_link(
+            "client",
+            "server",
+            latency_s=0.004,
+            bandwidth_bps=8e6,
+            secure=False,
+            loss_rate=CHAOS_LOSS_RATE if chaos else 0.0,
+        )
+        transport = Transport(network, scheduler, loss_seed=seed)
+        transport.configure_batching(max_frames=4, window=0.002)
+
+        engine = DrbacEngine(key_store=key_store, clock=scheduler)
+        engine.delegate("Trace", "alice", CLIENT_ROLE)
+        authorizer = CachedAuthorizer(engine, max_entries=8, shards=2)
+        policy = ViewAccessPolicy("TraceKV")
+        policy.allow(CLIENT_ROLE, "ViewTraceKV_Member")
+        policy.allow("others", "ViewTraceKV_Anonymous")
+        store = TracedKV(
+            authorizer, policy, engine, initial={"greeting": "init"}
+        )
+        server = PlainRpcEndpoint(transport, "server")
+        server.exporter.export("TraceKV", store)
+        client = PlainRpcEndpoint(transport, "client")
+
+        retry_policy = RetryPolicy.exponential(
+            base_delay=0.05, max_attempts=6, max_delay=1.0, jitter=0.1,
+            seed=seed,
+        )
+        results: list[list[str]] = []
+        for method, args in _OPS:
+            if chaos:
+                pending = client.call_with_retry(
+                    "server", "TraceKV", method, args, policy=retry_policy
+                )
+            else:
+                pending = client.call("server", "TraceKV", method, args)
+            try:
+                value = pending.wait(timeout=60.0)
+                results.append([method, "ok", repr(value)])
+            except Exception as exc:  # noqa: BLE001 - outcome goes in the report
+                results.append([method, "error", type(exc).__name__])
+        # Drain leftover retry checks and batch-window flushes so every
+        # span is finished before export.
+        while scheduler.step():
+            pass
+
+        log = obs.get_event_log()
+        return to_chrome_trace(
+            obs.get_tracer(),
+            log,
+            other_data={
+                "schema": SCHEMA,
+                "seed": seed,
+                "chaos": chaos,
+                "virtual_makespan_s": round(scheduler.now(), 9),
+                "ops": results,
+                "auth_decisions": len(log.find("auth.decision")),
+                "view_resolutions": len(log.find("view.resolve")),
+                "retries": len(log.find("rpc.retry")),
+                "frames_lost": len(log.find("net.loss")),
+            },
+        )

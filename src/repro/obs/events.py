@@ -1,0 +1,105 @@
+"""Structured event log: typed records over virtual time, bounded.
+
+Where spans describe *durations*, events describe *instants*: a fault
+injected, an authorization verdict, a batch flushed, a load-op error.
+Each record carries a monotonically increasing ``seq`` (assigned at emit
+time, so ordering is total and seeded-deterministic even when two events
+share a virtual timestamp), the emitting clock's ``at``, a dotted
+``kind`` (``"auth.decision"``, ``"fault.inject"``, …) and free-form
+string/number fields.
+
+The log doubles as the flight recorder's ring buffer: it keeps only the
+last ``max_events`` records (evictions are counted, never silent), so a
+long chaos run retains exactly the recent history a post-mortem needs.
+:func:`repro.obs.flight_snapshot` serialises it together with the live
+span stack.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from ..clock import Clock
+from .trace import PerfClock
+
+DEFAULT_MAX_EVENTS = 4096
+
+
+class Event:
+    """One structured record; immutable once emitted."""
+
+    __slots__ = ("seq", "at", "kind", "fields")
+
+    def __init__(self, seq: int, at: float, kind: str, fields: dict[str, Any]) -> None:
+        self.seq = seq
+        self.at = at
+        self.kind = kind
+        self.fields = fields
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "seq": self.seq,
+            "at": round(self.at, 9),
+            "kind": self.kind,
+        }
+        if self.fields:
+            out["fields"] = {k: self.fields[k] for k in sorted(self.fields)}
+        return out
+
+    def __repr__(self) -> str:
+        return f"Event({self.seq}, {self.at:.6f}, {self.kind!r}, {self.fields!r})"
+
+
+class EventLog:
+    """Bounded, ordered event buffer sharing the tracer's clock."""
+
+    def __init__(self, clock: Clock | None = None, *, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        self.clock: Clock = clock if clock is not None else PerfClock()
+        self.events: deque[Event] = deque(maxlen=max_events)
+        self.dropped = 0
+        """Records evicted by the ring-buffer bound."""
+        self._next_seq = 1
+
+    def emit(self, kind: str, /, **fields: Any) -> Event:
+        event = Event(self._next_seq, self.clock.now(), kind, fields)
+        self._next_seq += 1
+        if (
+            self.events.maxlen is not None
+            and len(self.events) == self.events.maxlen
+        ):
+            self.dropped += 1
+        self.events.append(event)
+        return event
+
+    def tail(self, n: int | None = None) -> list[Event]:
+        """The most recent ``n`` events (all retained events if ``None``)."""
+        if n is None or n >= len(self.events):
+            return list(self.events)
+        return list(self.events)[-n:]
+
+    def find(self, kind: str) -> list[Event]:
+        """Retained events of one kind, emit order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def reset(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+        self._next_seq = 1
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class NullEventLog(EventLog):
+    """Disabled-mode log: :meth:`emit` allocates nothing and keeps nothing."""
+
+    def __init__(self) -> None:
+        super().__init__(PerfClock(), max_events=1)
+
+    def emit(self, kind: str, /, **fields: Any) -> Event:  # type: ignore[override]
+        return NULL_EVENT
+
+
+NULL_EVENT = Event(0, 0.0, "<null>", {})
+NULL_EVENT_LOG = NullEventLog()

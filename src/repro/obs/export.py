@@ -1,0 +1,142 @@
+"""Export finished traces as Chrome/Perfetto trace-event JSON.
+
+The target format is the trace-event array understood by
+``chrome://tracing`` and https://ui.perfetto.dev: complete events
+(``"ph": "X"``) with microsecond ``ts``/``dur``, one ``pid`` for the
+whole simulation and one ``tid`` (track) per simulated node, named via
+``"ph": "M"`` thread-name metadata records.  Virtual seconds map
+directly onto trace microseconds, so a 4 ms simulated link hop renders
+as a 4 ms bar.
+
+Each event's ``args`` carries the span's W3C-style hex identifiers
+(``trace_id``/``span_id``/``parent_id``) plus its attributes — the ids
+are what lets a human (or a test) stitch a client-side RPC span, the
+transport batch that carried it, and the server-side proof search into
+one causal chain even though they render on different tracks.
+
+Everything here is pure and deterministic: sorted node→track mapping,
+sorted args keys, no wall-clock reads — same tracer state in, byte-same
+JSON out.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .events import EventLog
+from .trace import Span, Tracer, format_span_id, format_trace_id
+
+PID = 1
+MAIN_TID = 0
+MAIN_TRACK = "main"
+
+
+def _span_node(span: Span) -> str:
+    node = span.attributes.get("node")
+    return str(node) if node is not None else MAIN_TRACK
+
+
+def _collect_nodes(roots: list[Span]) -> dict[str, int]:
+    """Deterministic node → tid mapping (main pinned to tid 0)."""
+    nodes: set[str] = set()
+
+    def walk(span: Span) -> None:
+        nodes.add(_span_node(span))
+        for child in span.children:
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    nodes.discard(MAIN_TRACK)
+    mapping = {MAIN_TRACK: MAIN_TID}
+    for tid, name in enumerate(sorted(nodes), start=1):
+        mapping[name] = tid
+    return mapping
+
+
+def _span_event(span: Span, tids: dict[str, int]) -> dict[str, Any]:
+    args: dict[str, Any] = {
+        "trace_id": format_trace_id(span.trace_id),
+        "span_id": format_span_id(span.span_id),
+    }
+    if span.parent_id:
+        args["parent_id"] = format_span_id(span.parent_id)
+    for key in sorted(span.attributes):
+        if key != "node":
+            args[key] = span.attributes[key]
+    end = span.end if span.end is not None else span.start
+    return {
+        "name": span.name,
+        "cat": span.name.split(".", 1)[0],
+        "ph": "X",
+        "ts": int(round(span.start * 1e6)),
+        "dur": int(round((end - span.start) * 1e6)),
+        "pid": PID,
+        "tid": tids[_span_node(span)],
+        "args": args,
+    }
+
+
+def _instant_event(event_dict: dict[str, Any], tids: dict[str, int]) -> dict[str, Any]:
+    fields = event_dict.get("fields", {})
+    node = str(fields.get("node", MAIN_TRACK))
+    return {
+        "name": event_dict["kind"],
+        "cat": "event",
+        "ph": "i",
+        "s": "t",  # thread-scoped instant
+        "ts": int(round(event_dict["at"] * 1e6)),
+        "pid": PID,
+        "tid": tids.get(node, MAIN_TID),
+        "args": fields,
+    }
+
+
+def to_chrome_trace(
+    tracer: Tracer,
+    log: EventLog | None = None,
+    *,
+    other_data: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Render the tracer's finished spans (and optionally the event log)
+    as a Chrome trace-event JSON object."""
+    roots = list(tracer.finished)
+    tids = _collect_nodes(roots)
+
+    trace_events: list[dict[str, Any]] = []
+    for name, tid in sorted(tids.items(), key=lambda item: item[1]):
+        trace_events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": PID,
+            "tid": tid,
+            "args": {"name": name},
+        })
+
+    span_events: list[dict[str, Any]] = []
+
+    def walk(span: Span) -> None:
+        span_events.append(_span_event(span, tids))
+        for child in span.children:
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    # Stable render order: by start time, then track, then span id.
+    span_events.sort(key=lambda e: (e["ts"], e["tid"], e["args"]["span_id"]))
+    trace_events.extend(span_events)
+
+    if log is not None:
+        instants = [_instant_event(e.to_dict(), tids) for e in log.tail()]
+        instants.sort(key=lambda e: (e["ts"], e["tid"], e["name"]))
+        trace_events.extend(instants)
+
+    out: dict[str, Any] = {
+        "displayTimeUnit": "ms",
+        "traceEvents": trace_events,
+    }
+    if tracer.dropped:
+        out.setdefault("otherData", {})["spans_dropped"] = tracer.dropped
+    if other_data:
+        out.setdefault("otherData", {}).update(other_data)
+    return out

@@ -1,0 +1,55 @@
+"""Flight recorder: one-call post-mortem capture of recent history.
+
+When a harness trips — a chaos invariant sweep fails, a simtest oracle
+diverges, a bench-load transcript mismatches — the interesting state is
+*what just happened*: the last few thousand structured events, whatever
+spans are still open on the stack, and the most recent finished traces.
+:func:`snapshot` freezes all three into one JSON-compatible dict that the
+harness embeds in its report (or writes beside the shrunk repro), so a
+failure seen in CI can be read — and, because everything is derived from
+virtual time and seeded RNG, *re-derived* by replaying the same seed.
+
+The capture is deterministic: same seed, same trip point → byte-identical
+snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .events import EventLog
+from .trace import Tracer
+
+SCHEMA = "flightrec/v1"
+
+DEFAULT_TAIL_EVENTS = 256
+DEFAULT_RECENT_ROOTS = 16
+
+
+def snapshot(
+    tracer: Tracer,
+    log: EventLog,
+    *,
+    reason: str,
+    tail_events: int = DEFAULT_TAIL_EVENTS,
+    recent_roots: int = DEFAULT_RECENT_ROOTS,
+) -> dict[str, Any]:
+    """Freeze the recorder's view of the world into replayable JSON.
+
+    ``reason`` names the trip wire ("chaos.invariant", "simtest.divergence",
+    "load.transcript_mismatch", …).  ``tail_events`` bounds the event dump;
+    ``recent_roots`` bounds how many finished root span trees ride along.
+    """
+    roots = list(tracer.finished)
+    if recent_roots < len(roots):
+        roots = roots[-recent_roots:]
+    return {
+        "schema": SCHEMA,
+        "reason": reason,
+        "at": round(log.clock.now(), 9),
+        "events_dropped": log.dropped,
+        "events": [e.to_dict() for e in log.tail(tail_events)],
+        "live_spans": [s.to_dict() for s in tracer._stack],
+        "spans_dropped": tracer.dropped,
+        "recent_roots": [s.to_dict() for s in roots],
+    }

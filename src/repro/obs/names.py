@@ -130,6 +130,10 @@ FAULTS_RECOVERED_LOSS = "faults.recovered.loss"
 FAULTS_RECOVERED_REVOCATION = "faults.recovered.revocation"
 FAULTS_RECOVERY_LATENCY = "faults.recovery.latency"
 
+# -- Observability self-monitoring (obs/trace.py) ---------------------------
+
+TRACE_DROPPED = "obs.trace.dropped"
+
 # -- Simulation testing (check/executor.py, check/shrink.py) ----------------
 
 CHECK_OPS = "check.ops"
@@ -255,6 +259,8 @@ CATALOGUE: tuple[MetricSpec, ...] = (
                "revocation storms recovered by re-issuance"),
     MetricSpec(FAULTS_RECOVERY_LATENCY, "histogram",
                "virtual seconds from fault injection to verified recovery"),
+    MetricSpec(TRACE_DROPPED, "counter",
+               "finished root spans evicted by the tracer retention bound"),
     MetricSpec(CHECK_OPS, "counter", "simtest operations executed"),
     MetricSpec(CHECK_COMPARISONS, "counter",
                "simtest oracle comparisons performed"),

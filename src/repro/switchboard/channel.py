@@ -158,15 +158,26 @@ class SwitchboardConnection:
         )
         self._pending[call_id] = pending
         obs.counter(metric_names.SWB_RPC_CALLS).inc()
-        self._send(
-            {
-                "kind": "call",
-                "call_id": call_id,
-                "target": target,
-                "method": method,
-                "args": args or [],
-            }
-        )
+        inner = {
+            "kind": "call",
+            "call_id": call_id,
+            "target": target,
+            "method": method,
+            "args": args or [],
+        }
+        if obs.dist_enabled():
+            tracer = obs.get_tracer()
+            span = tracer.start(
+                "rpc.client", parent=tracer.current,
+                node=self.endpoint.node_name, channel=self.conn_id,
+                target=target, method=method, call_id=call_id,
+            )
+            pending.span = span
+            inner["tc"] = [span.trace_id, span.span_id]
+            with tracer.activate(span):
+                self._send(inner)
+        else:
+            self._send(inner)
         return pending
 
     def call_sync(self, target: str, method: str, args: list | None = None) -> Any:
@@ -378,9 +389,21 @@ class SwitchboardConnection:
             raise SwitchboardError(f"unknown channel frame kind {kind!r}")
 
     def _serve_call(self, inner: dict) -> None:
+        tc = inner.get("tc")
+        span = None
+        if tc is not None and obs.is_enabled():
+            span = obs.get_tracer().start(
+                "rpc.server", remote=(tc[0], tc[1]),
+                node=self.endpoint.node_name, channel=self.conn_id,
+                target=inner.get("target", ""), method=inner.get("method", ""),
+                call_id=inner["call_id"],
+            )
         if self.state is not ChannelState.OPEN:
             # Paper: monitors "can ... requir[e] a component to revalidate
             # itself prior to approving future requests".
+            if span is not None:
+                span.set_error("ChannelRevoked")
+                span.finish()
             self._send(
                 {
                     "kind": "result",
@@ -392,12 +415,25 @@ class SwitchboardConnection:
             return
         response: dict[str, Any] = {"kind": "result", "call_id": inner["call_id"]}
         try:
-            response["value"] = self.exporter.dispatch(
-                inner["target"], inner["method"], inner.get("args", [])
-            )
+            if span is not None:
+                with obs.get_tracer().activate(span):
+                    response["value"] = self.exporter.dispatch(
+                        inner["target"], inner["method"], inner.get("args", [])
+                    )
+            else:
+                response["value"] = self.exporter.dispatch(
+                    inner["target"], inner["method"], inner.get("args", [])
+                )
         except Exception as exc:  # noqa: BLE001 - errors cross the wire as text
+            if span is not None:
+                span.set_error(type(exc).__name__)
             response["error"] = f"{type(exc).__name__}: {exc}"
-        self._send(response, allow_when_revoked=True)
+        if span is not None:
+            with obs.get_tracer().activate(span):
+                self._send(response, allow_when_revoked=True)
+            span.finish()
+        else:
+            self._send(response, allow_when_revoked=True)
 
     def _complete_call(self, inner: dict) -> None:
         pending = self._pending.pop(inner["call_id"], None)

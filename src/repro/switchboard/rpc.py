@@ -90,6 +90,9 @@ class PendingCall:
     started_at: Optional[float] = None
     """Scheduler time the call was sent; lets the channel layer record
     completion latency in virtual time."""
+    span: Optional[obs.Span] = field(default=None, repr=False)
+    """Client-side span covering issue → completion (dist tracing only);
+    the completion paths below finish it and tag failures ``error=<type>``."""
     _value: Any = None
     _error: Optional[str] = None
     _exception: Optional[Exception] = field(default=None, repr=False)
@@ -117,17 +120,27 @@ class PendingCall:
     def resolve(self, value: Any) -> None:
         self.done = True
         self._value = value
+        if self.span is not None:
+            self.span.finish()
         self._fire_callbacks()
 
     def fail(self, message: str) -> None:
         self.done = True
         self._error = message
+        if self.span is not None:
+            if self.span.ok:
+                self.span.set_error("RemoteError")
+            self.span.finish()
         self._fire_callbacks()
 
     def abort(self, exc: Exception) -> None:
         """Fail the call with a typed local exception (channel teardown)."""
         self.done = True
         self._exception = exc
+        if self.span is not None:
+            if self.span.ok:
+                self.span.set_error(type(exc).__name__)
+            self.span.finish()
         self._fire_callbacks()
 
     @property
@@ -168,6 +181,10 @@ class PendingCall:
         while not self.done:
             if deadline is not None and self._scheduler.now() >= deadline:
                 obs.counter(metric_names.RPC_WAIT_TIMEOUTS).inc()
+                if self.span is not None and self.span.ok:
+                    # Not finished: a late response may still complete the
+                    # call, but the caller observed a timeout.
+                    self.span.set_error("RpcTimeoutError")
                 raise RpcTimeoutError(
                     f"call {self.method!r} still pending after {timeout}s"
                 )
@@ -365,6 +382,15 @@ class PlainRpcEndpoint:
             "method": method,
             "args": args or [],
         }
+        span = None
+        if obs.dist_enabled():
+            tracer = obs.get_tracer()
+            span = tracer.start(
+                "rpc.client", parent=tracer.current, node=self.node_name,
+                peer=remote_node, target=target, method=method, call_id=call_id,
+            )
+            pending.span = span
+            frame["tc"] = [span.trace_id, span.span_id]
 
         def dropped(exc: Exception) -> None:
             # Fail fast: a request that died in flight (link down, node
@@ -375,16 +401,30 @@ class PlainRpcEndpoint:
                 pending.abort(exc)
 
         try:
-            self.transport.send(
-                self.node_name,
-                remote_node,
-                PLAIN_RPC_SERVICE,
-                encode_frame(frame),
-                on_dropped=dropped,
-            )
+            if span is not None:
+                # Activate so the transport's transmit/batch spans nest
+                # under this call instead of floating as roots.
+                with obs.get_tracer().activate(span):
+                    self.transport.send(
+                        self.node_name,
+                        remote_node,
+                        PLAIN_RPC_SERVICE,
+                        encode_frame(frame),
+                        on_dropped=dropped,
+                    )
+            else:
+                self.transport.send(
+                    self.node_name,
+                    remote_node,
+                    PLAIN_RPC_SERVICE,
+                    encode_frame(frame),
+                    on_dropped=dropped,
+                )
         except NetworkError as exc:
             del self._pending[call_id]
             self._ids.release(call_id)
+            if span is not None:
+                span.set_error("NetworkError")
             pending.fail(str(exc))
         return pending
 
@@ -442,34 +482,83 @@ class PlainRpcEndpoint:
             call_id=call_id, method=method, _scheduler=self.transport.scheduler
         )
         self._pending[call_id] = pending
-        frame = encode_frame(
-            {
-                "type": "call",
-                "call_id": call_id,
-                "reply_to": self.node_name,
-                "target": target,
-                "method": method,
-                "args": args or [],
-            }
-        )
+        base_frame = {
+            "type": "call",
+            "call_id": call_id,
+            "reply_to": self.node_name,
+            "target": target,
+            "method": method,
+            "args": args or [],
+        }
+        frame = encode_frame(base_frame)
+        span = None
+        attempts = 0
+        if obs.dist_enabled():
+            tracer = obs.get_tracer()
+            span = tracer.start(
+                "rpc.client", parent=tracer.current, node=self.node_name,
+                peer=remote_node, target=target, method=method,
+                call_id=call_id, retrying=True,
+            )
+            pending.span = span
 
         def give_up() -> None:
             self._pending.pop(call_id, None)
             obs.counter(metric_names.RPC_RETRIES_EXHAUSTED).inc()
+            obs.event(
+                "rpc.exhausted", node=self.node_name, peer=remote_node,
+                target=target, method=method, call_id=call_id,
+                attempts=schedule.attempts_made,
+            )
+            if span is not None:
+                span.set_error("RetriesExhausted")
             pending.fail(
                 f"no response from {remote_node}/{target}.{method} after "
                 f"{schedule.attempts_made} attempts"
             )
 
         def transmit(*, is_retry: bool) -> None:
+            nonlocal attempts
+            attempts += 1
             if is_retry:
                 obs.counter(metric_names.RPC_RETRIES).inc()
+                obs.event(
+                    "rpc.retry", node=self.node_name, peer=remote_node,
+                    target=target, method=method, call_id=call_id,
+                    attempt=attempts,
+                )
+            payload = frame
+            attempt_span = None
+            if span is not None:
+                # Each attempt is its own child span carrying the shared
+                # correlation id; the wire frame carries the *attempt's*
+                # context, so the server span stitches to the exact
+                # transmission that reached it.
+                attempt_span = obs.get_tracer().start(
+                    "rpc.attempt", parent=span, node=self.node_name,
+                    call_id=call_id, attempt=attempts, retry=is_retry,
+                )
+                payload = encode_frame(
+                    {**base_frame, "tc": list(attempt_span.context())}
+                )
             try:
-                self.transport.send(self.node_name, remote_node, PLAIN_RPC_SERVICE, frame)
+                if attempt_span is not None:
+                    with obs.get_tracer().activate(attempt_span):
+                        self.transport.send(
+                            self.node_name, remote_node, PLAIN_RPC_SERVICE, payload
+                        )
+                else:
+                    self.transport.send(
+                        self.node_name, remote_node, PLAIN_RPC_SERVICE, payload
+                    )
             except NetworkError:
                 # No route right now; keep the schedule ticking — the
                 # fault may heal before the attempts run out.
-                pass
+                if attempt_span is not None:
+                    attempt_span.set_error("NetworkError")
+            finally:
+                if attempt_span is not None:
+                    attempt_span.finish()
             wait = schedule.next_delay()
             if wait is None:
                 # That was the final attempt: give its response one more
@@ -502,22 +591,56 @@ class PlainRpcEndpoint:
             raise SwitchboardError(f"unknown RPC frame type {kind!r}")
 
     def _serve(self, frame: dict) -> None:
-        response: dict[str, Any] = {"type": "result", "call_id": frame["call_id"]}
-        try:
-            response["value"] = self.exporter.dispatch(
-                frame["target"], frame["method"], frame.get("args", [])
+        tc = frame.get("tc")
+        span = None
+        if tc is not None and obs.is_enabled():
+            # Continue the propagated trace: this span is a local root
+            # remote-parented to the client (or attempt) span that sent
+            # the frame, so exports stitch both sides by shared trace id.
+            span = obs.get_tracer().start(
+                "rpc.server", remote=(tc[0], tc[1]), node=self.node_name,
+                target=frame["target"], method=frame["method"],
+                call_id=frame["call_id"],
             )
+        response: dict[str, Any] = {"type": "result", "call_id": frame["call_id"]}
+        if tc is not None:
+            response["tc"] = tc
+        try:
+            if span is not None:
+                # Dispatch under the server span so work done on the
+                # call's behalf (proof search, view resolution) nests.
+                with obs.get_tracer().activate(span):
+                    response["value"] = self.exporter.dispatch(
+                        frame["target"], frame["method"], frame.get("args", [])
+                    )
+            else:
+                response["value"] = self.exporter.dispatch(
+                    frame["target"], frame["method"], frame.get("args", [])
+                )
         except Exception as exc:  # noqa: BLE001 - errors cross the wire as text
+            if span is not None:
+                span.set_error(type(exc).__name__)
             response["error"] = f"{type(exc).__name__}: {exc}"
         try:
-            self.transport.send(
-                self.node_name, frame["reply_to"], PLAIN_RPC_SERVICE, encode_frame(response)
-            )
+            if span is not None:
+                with obs.get_tracer().activate(span):
+                    self.transport.send(
+                        self.node_name, frame["reply_to"], PLAIN_RPC_SERVICE,
+                        encode_frame(response),
+                    )
+            else:
+                self.transport.send(
+                    self.node_name, frame["reply_to"], PLAIN_RPC_SERVICE,
+                    encode_frame(response),
+                )
         except NetworkError:
             # The caller's route died while we serviced the request; an
             # unroutable response is indistinguishable from a lost frame,
             # and the caller's retry machinery owns the recovery.
             pass
+        finally:
+            if span is not None:
+                span.finish()
 
     def _complete(self, frame: dict) -> None:
         pending = self._pending.pop(frame["call_id"], None)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from .. import obs
 from ..drbac.delegation import Delegation
 from ..drbac.engine import DrbacEngine
 from ..drbac.model import Attributes, EntityRef, Role
@@ -97,27 +98,54 @@ class ViewAccessPolicy:
         when no rule applies and there is no anonymous default.
         """
         presented = list(credentials) if credentials is not None else None
-        for rule in self._rules:
-            if rule.is_default:
-                return AccessDecision(view_name=rule.view_name, rule=rule, proof=None)
-            assert rule.role is not None
-            pool = presented
-            if pool is None:
-                pool = engine.repository.collect(EntityRef(client), rule.role)
-            else:
-                # Merge presented credentials with repository mappings so
-                # leaf credentials can chain through cross-domain links.
-                harvested = engine.repository.collect(EntityRef(client), rule.role)
-                merged = {c.credential_id: c for c in harvested}
-                for cred in pool:
-                    merged[cred.credential_id] = cred
-                pool = list(merged.values())
-            proof = engine.find_proof(
-                EntityRef(client),
-                rule.role,
-                pool,
-                required_attributes=rule.required_attributes or None,
+        with obs.span(
+            "views.acl.resolve", component=self.component, client=client
+        ) as span:
+            for rule in self._rules:
+                if rule.is_default:
+                    span.set(view=rule.view_name, rule="others")
+                    self._audit(client, rule, proof=None)
+                    return AccessDecision(
+                        view_name=rule.view_name, rule=rule, proof=None
+                    )
+                assert rule.role is not None
+                pool = presented
+                if pool is None:
+                    pool = engine.repository.collect(EntityRef(client), rule.role)
+                else:
+                    # Merge presented credentials with repository mappings so
+                    # leaf credentials can chain through cross-domain links.
+                    harvested = engine.repository.collect(EntityRef(client), rule.role)
+                    merged = {c.credential_id: c for c in harvested}
+                    for cred in pool:
+                        merged[cred.credential_id] = cred
+                    pool = list(merged.values())
+                proof = engine.find_proof(
+                    EntityRef(client),
+                    rule.role,
+                    pool,
+                    required_attributes=rule.required_attributes or None,
+                )
+                if proof is not None:
+                    span.set(view=rule.view_name, rule=str(rule.role))
+                    self._audit(client, rule, proof=proof)
+                    return AccessDecision(
+                        view_name=rule.view_name, rule=rule, proof=proof
+                    )
+            span.set(view=None)
+            obs.event(
+                "view.resolve", component=self.component, principal=client,
+                verdict="none",
             )
-            if proof is not None:
-                return AccessDecision(view_name=rule.view_name, rule=rule, proof=proof)
-        return None
+            return None
+
+    def _audit(
+        self, client: str, rule: AccessRule, *, proof: Optional[Proof]
+    ) -> None:
+        obs.event(
+            "view.resolve", component=self.component, principal=client,
+            view=rule.view_name,
+            role="others" if rule.is_default else str(rule.role),
+            chain=len(proof.chain) if proof is not None else 0,
+            verdict="grant",
+        )

@@ -14,6 +14,7 @@ import json
 
 import pytest
 
+from repro import obs
 from repro.load import LoadGenerator, run_bench
 from repro.load.generator import transcript_digest
 
@@ -71,6 +72,45 @@ class TestDifferential:
         assert fast.net["batches_sent"] > 0
         assert fast.net["frames_coalesced"] > 0
         assert serial.net["batches_sent"] == 0
+
+
+class TestTraceTopology:
+    """The differential guarantee extended to distributed traces: the
+    fast path may change timing and wire framing, but not the causal
+    shape — same calls from the same clients, each stitched to the same
+    number of server-side spans."""
+
+    @pytest.fixture(scope="class")
+    def traced_runs(self, key_store):
+        generator = LoadGenerator(
+            seed=SEED, clients=2, requests=10, key_store=key_store
+        )
+        # dist must be on in the surrounding scope: the generator's own
+        # scoped block inherits it (it never passes dist explicitly).
+        with obs.scoped(enabled=True, dist=True):
+            serial = generator.run(pipelined=False, batching=False)
+            fast = generator.run(pipelined=True, batching=True)
+        return serial, fast
+
+    def test_topology_captured_only_under_dist(self, serial):
+        # The module-scope runs execute with dist off: no wire tracing,
+        # no topology, and — critically — unchanged frame bytes.
+        assert serial.topology is None
+
+    def test_fast_path_preserves_span_topology(self, traced_runs):
+        serial, fast = traced_runs
+        assert serial.topology is not None
+        assert fast.topology is not None
+        assert serial.topology == fast.topology
+
+    def test_every_call_stitched_to_one_server_span(self, traced_runs):
+        serial, _fast = traced_runs
+        assert len(serial.topology) == 2 * 10
+        assert all(servers == 1 for _n, _t, _m, servers in serial.topology)
+
+    def test_transcripts_still_match_with_tracing_on(self, traced_runs):
+        serial, fast = traced_runs
+        assert serial.transcripts == fast.transcripts
 
 
 class TestThroughput:

@@ -1,9 +1,11 @@
-"""Tracer and span behaviour: nesting, durations, retention."""
+"""Tracer and span behaviour: nesting, durations, retention, identities."""
 
 from __future__ import annotations
 
+from repro import obs
 from repro.clock import ManualClock
-from repro.obs.trace import Tracer
+from repro.obs import names
+from repro.obs.trace import Tracer, format_span_id, format_trace_id
 
 
 class TestNesting:
@@ -111,3 +113,130 @@ class TestRetention:
         with tracer.span("after") as after:
             pass
         assert after.parent is None
+
+    def test_evicting_a_root_counts_dropped(self):
+        with obs.scoped() as registry:
+            tracer = obs.get_tracer()
+            tracer.finished = type(tracer.finished)(maxlen=2)
+            for i in range(5):
+                with tracer.span(f"s{i}"):
+                    pass
+            assert tracer.dropped == 3
+            assert registry.counter_value(names.TRACE_DROPPED) == 3
+
+
+class TestIdentifiers:
+    def test_each_root_starts_a_fresh_trace(self):
+        tracer = Tracer(ManualClock())
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+        assert a.parent_id == 0 and b.parent_id == 0
+
+    def test_children_inherit_the_trace_and_link_to_parents(self):
+        tracer = Tracer(ManualClock())
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                pass
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_ids_are_deterministic_after_reset(self):
+        tracer = Tracer(ManualClock())
+
+        def mint():
+            with tracer.span("root") as root:
+                with tracer.span("child") as child:
+                    pass
+            return (root.trace_id, root.span_id, child.span_id)
+
+        first = mint()
+        tracer.reset()
+        assert mint() == first
+
+    def test_hex_formatting_is_w3c_shaped(self):
+        assert format_trace_id(255) == "0" * 30 + "ff"
+        assert len(format_trace_id(1)) == 32
+        assert len(format_span_id(1)) == 16
+
+
+class TestManualSpans:
+    def test_start_finish_lifecycle(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        span = tracer.start("rpc.client", node="client")
+        clock.advance(1.5)
+        span.finish()
+        assert span.end == 1.5
+        assert [s.name for s in tracer.roots()] == ["rpc.client"]
+
+    def test_finish_is_idempotent(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        span = tracer.start("once")
+        span.finish()
+        clock.advance(5.0)
+        span.finish()
+        assert span.end == 0.0
+        assert len(tracer.roots()) == 1
+
+    def test_explicit_parent_attaches_without_stack(self):
+        tracer = Tracer(ManualClock())
+        parent = tracer.start("parent")
+        child = tracer.start("child", parent=parent)
+        child.finish()
+        parent.finish()
+        assert child.parent is parent
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+        # Only the parent is a root.
+        assert [s.name for s in tracer.roots()] == ["parent"]
+
+    def test_remote_parent_makes_a_stitched_local_root(self):
+        tracer = Tracer(ManualClock())
+        server = tracer.start("rpc.server", remote=(77, 13))
+        server.finish()
+        assert server.trace_id == 77
+        assert server.parent_id == 13
+        assert [s.name for s in tracer.roots()] == ["rpc.server"]
+
+    def test_activation_nests_stack_spans_under_a_manual_span(self):
+        tracer = Tracer(ManualClock())
+        manual = tracer.start("rpc.server", remote=(1, 1))
+        with tracer.activate(manual):
+            with tracer.span("drbac.proof.search") as search:
+                pass
+        manual.finish()
+        assert search.parent is manual
+        assert search.trace_id == manual.trace_id
+        assert tracer.current is None
+
+    def test_error_tagging(self):
+        tracer = Tracer(ManualClock())
+        span = tracer.start("rpc.client")
+        assert span.ok
+        span.set_error("RpcTimeoutError")
+        assert not span.ok
+        assert span.attributes["error"] == "RpcTimeoutError"
+
+    def test_to_dict_round_trips_the_subtree(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        root = tracer.start("root", node="client")
+        child = tracer.start("child", parent=root)
+        clock.advance(0.5)
+        child.finish()
+        root.finish()
+        dump = root.to_dict()
+        assert dump["name"] == "root"
+        assert dump["attributes"] == {"node": "client"}
+        assert dump["children"][0]["name"] == "child"
+        assert dump["children"][0]["parent_id"] == format_span_id(root.span_id)
+
+    def test_open_span_dumps_as_open(self):
+        tracer = Tracer(ManualClock())
+        span = tracer.start("live")
+        assert span.to_dict()["open"] is True
