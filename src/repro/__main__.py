@@ -29,6 +29,16 @@ frame batching, reporting virtual-time throughput, latency percentiles,
 authorization-cache hit rates, and the serial-vs-pipelined differential
 check.  Same seed, byte-identical JSON.
 
+``python -m repro bench-overload --seed N [--json]`` runs the overload
+experiment (:mod:`repro.flow` + :mod:`repro.load.overload`): the same
+seeded open-loop workload at 1x/3x/10x of service capacity, once with
+admission control off (unbounded queue, latency collapse) and once with
+the full flow stack (token buckets, weighted fair queueing, typed sheds
+with retry-after hints).  The report asserts the overload invariants —
+goodput retention at 10x, zero monitor-class sheds, no starvation of the
+lowest class — and exits non-zero when one fails.  Same seed,
+byte-identical JSON.
+
 ``python -m repro simtest --seed N [--steps S] [--chaos] [--json]`` runs
 the model-based simulation checker (:mod:`repro.check`): a seeded
 interleaved workload of delegations, revocations, view accesses, and
@@ -387,6 +397,94 @@ def run_bench_load(argv: list[str] | None = None) -> int:
     return 0 if report["transcripts_match"] else 1
 
 
+def run_bench_overload(argv: list[str] | None = None) -> int:
+    """The ``repro bench-overload`` subcommand.
+
+    Drives :class:`repro.load.overload.OverloadBench` — 1x/3x/10x offered
+    load, each with and without flow control — and prints the goodput
+    comparison plus the invariant verdicts.  Identical seeds produce
+    byte-identical ``--json`` output; exit status is non-zero when an
+    overload invariant is violated.
+    """
+    from .load import run_bench_overload as run_overload
+
+    argv = list(argv or [])
+    usage = (
+        "usage: python -m repro bench-overload [--seed N] [--clients C]"
+        " [--duration S] [--json] [--out PATH]"
+    )
+    seed, clients, duration = 7, 4, 1.5
+    as_json = False
+    out_path: str | None = None
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "--json":
+            as_json = True
+            index += 1
+            continue
+        if arg in ("--seed", "--clients", "--duration", "--out"):
+            if index + 1 >= len(argv):
+                print(f"repro bench-overload: {arg} needs a value", file=sys.stderr)
+                print(usage, file=sys.stderr)
+                return 2
+            value = argv[index + 1]
+            try:
+                if arg == "--seed":
+                    seed = int(value)
+                elif arg == "--clients":
+                    clients = int(value)
+                elif arg == "--duration":
+                    duration = float(value)
+                else:
+                    out_path = value
+            except ValueError:
+                print(
+                    f"repro bench-overload: bad value for {arg}: {value!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            index += 2
+            continue
+        print(f"repro bench-overload: unknown argument {arg!r}", file=sys.stderr)
+        print(usage, file=sys.stderr)
+        return 2
+    try:
+        report = run_overload(seed=seed, clients=clients, duration_s=duration)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(
+            f"repro bench-overload: run failed: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    if as_json:
+        print(rendered)
+    else:
+        print(
+            f"bench-overload seed={seed} clients={clients} "
+            f"duration={duration}s capacity={report['capacity_rps']:.0f} rps "
+            f"slo={report['slo_s'] * 1000:.0f}ms"
+        )
+        for arm in report["arms"]:
+            off, on = arm["without_flow"], arm["with_flow"]
+            print(
+                f"  {arm['multiplier']:>2}x ({arm['offered_rps']:.0f} rps): "
+                f"goodput {off['goodput_rps']:7.1f} -> {on['goodput_rps']:7.1f} rps"
+                f"  shed {on['shed']:>4}  p99 {off['latency_s']['p99'] * 1000:8.1f}"
+                f" -> {on['latency_s']['p99'] * 1000:6.1f} ms"
+            )
+        verdicts = report["invariants"]
+        for name, passed in verdicts.items():
+            if name == "ok":
+                continue
+            print(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+    return 0 if report["invariants"]["ok"] else 1
+
+
 def run_simtest(argv: list[str] | None = None) -> int:
     """The ``repro simtest`` subcommand.
 
@@ -554,6 +652,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_chaos(argv[1:])
     if argv and argv[0] == "bench-load":
         return run_bench_load(argv[1:])
+    if argv and argv[0] == "bench-overload":
+        return run_bench_overload(argv[1:])
     if argv and argv[0] == "simtest":
         return run_simtest(argv[1:])
     if argv and argv[0] == "trace":
@@ -567,6 +667,7 @@ def main(argv: list[str] | None = None) -> int:
             "usage: python -m repro [--full-keys] | stats [--json] [--full-keys]"
             " | chaos [--seed N] [--duration S] [--json]"
             " | bench-load [--seed N] [--clients C] [--json]"
+            " | bench-overload [--seed N] [--clients C] [--json]"
             " | simtest [--seed N] [--steps S] [--chaos] [--json]"
             " | trace [--seed N] [--chaos] [--out F]",
             file=sys.stderr,

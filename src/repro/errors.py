@@ -87,6 +87,20 @@ class RpcTimeoutError(SwitchboardError):
     """Waiting on a pending call exceeded the caller's timeout budget."""
 
 
+class RpcShedError(SwitchboardError):
+    """A call was refused by overload protection (server-side admission
+    control or a client-side circuit breaker) rather than attempted.
+
+    Carries a ``retry_after`` hint in virtual seconds — the earliest time
+    a retry has a chance of being admitted — which
+    :meth:`~repro.switchboard.rpc.PlainRpcEndpoint.call_with_retry`
+    honors by delaying its next retransmission past the hint."""
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class PsfError(ReproError):
     """Base class for Partitionable Services Framework failures."""
 

@@ -28,7 +28,9 @@ class RetryPolicy:
     wait multiplies by ``multiplier`` and clamps to ``max_delay``.
     ``jitter`` spreads each wait uniformly over ``[delay*(1-j), delay*(1+j)]``
     using a ``seed``-derived RNG.  ``deadline`` bounds the *sum* of waits:
-    a schedule refuses delays that would push total waiting past it.
+    a delay that would overshoot it is clamped to the remaining budget
+    (never skipped outright), and once the budget is spent the schedule
+    gives up.
     """
 
     base_delay: float = 0.1
@@ -123,10 +125,14 @@ class RetrySchedule:
         if self.policy.jitter:
             spread = self.policy.jitter * delay
             delay += self._rng.uniform(-spread, spread)
-        if self.policy.deadline is not None and (
-            self.waited + delay > self.policy.deadline
-        ):
-            return None
+        if self.policy.deadline is not None:
+            # Clamp to the remaining budget instead of refusing outright:
+            # a schedule with 1s left and a 4s backoff due should spend
+            # that last second trying, not give up with budget unused.
+            remaining = self.policy.deadline - self.waited
+            if remaining <= 0:
+                return None
+            delay = min(delay, remaining)
         self.attempts_made += 1
         self.waited += delay
         return delay

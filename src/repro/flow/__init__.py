@@ -1,0 +1,58 @@
+"""repro.flow — deterministic overload protection for the serving path.
+
+Admission control, priority load shedding, and adaptive backpressure,
+all over virtual time so every decision replays byte-identically:
+
+* :class:`TokenBucket` — per-principal/per-domain rate limiting with
+  lazy deterministic refill.
+* :class:`WeightedFairQueue` — priority classes with weighted service
+  shares (revocation/monitor > authorization checks > view reads >
+  bulk puts) that never starve the lowest class.
+* :class:`AimdLimiter` — AIMD concurrency window driven by observed
+  virtual-time latency; clamps :class:`~repro.switchboard.rpc.RpcPipeline`
+  issue windows for client-side backpressure.
+* :class:`CircuitBreaker` — per-endpoint failure gate with half-open
+  probing; refusals are local and instant.
+* :class:`FlowController` — the server-side pipeline (bucket → WFQ →
+  service slots) that :class:`~repro.switchboard.rpc.PlainRpcEndpoint`
+  consults when built with a :class:`FlowConfig`.
+
+Everything defaults **off**: an endpoint without a :class:`FlowConfig`
+is byte-for-byte the pre-flow serving path, so the chaos, load, simtest,
+and trace harness reports are untouched.  ``python -m repro
+bench-overload`` drives the whole stack under 1x/3x/10x offered load.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .bucket import TokenBucket
+from .config import (
+    DEFAULT_WEIGHTS,
+    PRIO_AUTH,
+    PRIO_BULK,
+    PRIO_MONITOR,
+    PRIO_READ,
+    FlowConfig,
+    classify_priority,
+)
+from .controller import FlowController, Shed
+from .limiter import AimdLimiter
+from .wfq import WeightedFairQueue
+
+__all__ = [
+    "TokenBucket",
+    "WeightedFairQueue",
+    "AimdLimiter",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "FlowController",
+    "Shed",
+    "FlowConfig",
+    "classify_priority",
+    "DEFAULT_WEIGHTS",
+    "PRIO_MONITOR",
+    "PRIO_AUTH",
+    "PRIO_READ",
+    "PRIO_BULK",
+]

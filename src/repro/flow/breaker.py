@@ -1,0 +1,122 @@
+"""Per-endpoint circuit breaking with half-open probing.
+
+A :class:`CircuitBreaker` watches transport-level outcomes of calls to
+one remote endpoint.  ``failure_threshold`` failures within a sliding
+``window_s`` of virtual time trip it OPEN: further calls are refused
+locally (typed :class:`~repro.errors.RpcShedError`, no frame sent), so a
+dead or drowning peer stops costing a full timeout per call.  After
+``open_s`` the breaker goes HALF_OPEN and lets ``half_open_probes``
+probe calls through; all-successful probes close it, any probe failure
+re-opens it for another ``open_s``.
+
+Only transport-shaped failures count — sheds, timeouts, aborted calls,
+dead links.  Application errors that crossed the wire (a remote
+``AuthorizationError``, say) prove the endpoint is alive and count as
+successes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .. import obs
+from ..clock import Clock
+from ..errors import FaultError
+from ..obs import names as metric_names
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-rate gate for calls to one remote endpoint."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        *,
+        failure_threshold: int = 5,
+        window_s: float = 1.0,
+        open_s: float = 1.0,
+        half_open_probes: int = 1,
+        name: str = "",
+    ) -> None:
+        if failure_threshold < 1:
+            raise FaultError("failure_threshold must be >= 1")
+        if window_s <= 0 or open_s <= 0:
+            raise FaultError("window_s and open_s must be positive")
+        if half_open_probes < 1:
+            raise FaultError("half_open_probes must be >= 1")
+        self._clock = clock
+        self.failure_threshold = failure_threshold
+        self.window_s = window_s
+        self.open_s = open_s
+        self.half_open_probes = half_open_probes
+        self.name = name
+        self.state = CLOSED
+        self._failures: deque[float] = deque()
+        self._opened_at = 0.0
+        self._probes_left = 0
+        self._probe_successes = 0
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        obs.event("flow.breaker", name=self.name, state=state)
+        if state == OPEN:
+            obs.counter(metric_names.FLOW_BREAKER_OPENS).inc()
+
+    def allow(self) -> bool:
+        """May a call be attempted right now?  (Mutates probe budget.)"""
+        now = self._clock.now()
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self._opened_at < self.open_s:
+                return False
+            self._transition(HALF_OPEN)
+            self._probes_left = self.half_open_probes
+            self._probe_successes = 0
+        # HALF_OPEN: admit probes while the budget lasts.
+        if self._probes_left > 0:
+            self._probes_left -= 1
+            obs.counter(metric_names.FLOW_BREAKER_PROBES).inc()
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Virtual seconds until the breaker will admit a call again."""
+        if self.state != OPEN:
+            return 0.0
+        return max(0.0, self.open_s - (self._clock.now() - self._opened_at))
+
+    def on_success(self) -> None:
+        if self.state == HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.half_open_probes:
+                self._failures.clear()
+                self._transition(CLOSED)
+        elif self.state == CLOSED and self._failures:
+            self._prune(self._clock.now())
+
+    def on_failure(self) -> None:
+        now = self._clock.now()
+        if self.state == HALF_OPEN:
+            # The probe failed: the endpoint is still sick.
+            self._opened_at = now
+            self._transition(OPEN)
+            return
+        if self.state == OPEN:
+            return
+        self._failures.append(now)
+        self._prune(now)
+        if len(self._failures) >= self.failure_threshold:
+            self._opened_at = now
+            self._transition(OPEN)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window_s
+        while self._failures and self._failures[0] <= horizon:
+            self._failures.popleft()

@@ -3,8 +3,19 @@
 ``python -m repro bench-load`` drives :func:`run_bench`; tests import
 :class:`LoadGenerator` directly to assert the differential guarantee
 (pipelined + batched runs produce byte-identical per-client results).
+``python -m repro bench-overload`` drives :func:`run_bench_overload`:
+the same service model under 1x/3x/10x offered load, with and without
+the :mod:`repro.flow` overload-protection stack.
 """
 
-from .generator import LoadGenerator, LoadRun, run_bench
+from .generator import LoadGenerator, LoadRun, classify_error, run_bench
+from .overload import OverloadBench, run_bench_overload
 
-__all__ = ["LoadGenerator", "LoadRun", "run_bench"]
+__all__ = [
+    "LoadGenerator",
+    "LoadRun",
+    "classify_error",
+    "run_bench",
+    "OverloadBench",
+    "run_bench_overload",
+]

@@ -40,7 +40,8 @@ from .. import obs
 from ..crypto import KeyStore
 from ..drbac import DrbacEngine
 from ..drbac.cache import CachedAuthorizer
-from ..errors import AuthorizationError
+from ..errors import AuthorizationError, RpcShedError, RpcTimeoutError
+from ..flow import FlowConfig
 from ..hermetic import hermetic_counters
 from ..net.events import EventScheduler
 from ..net.simnet import Network
@@ -128,6 +129,10 @@ class LoadRun:
     transcripts: list[list[str]] = field(repr=False)
     cache: dict[str, Any] = field(repr=False)
     net: dict[str, int] = field(repr=False)
+    error_kinds: dict[str, int] | None = field(default=None, repr=False)
+    """Errors bucketed by kind (``shed`` / ``timeout`` / ``denied`` /
+    ``other``); populated only when the run executed with flow control,
+    so a flow-off report keeps its exact legacy key set."""
     flight: dict[str, Any] | None = field(default=None, repr=False)
     """Flight-recorder snapshot taken as the run's world wound down; the
     report surfaces it only when the serial/pipelined transcripts
@@ -146,7 +151,7 @@ class LoadRun:
 
     def to_dict(self) -> dict[str, Any]:
         ordered = sorted(self.latencies)
-        return {
+        out: dict[str, Any] = {
             "mode": self.mode,
             "batching": self.batching,
             "pipeline_depth": self.depth,
@@ -163,6 +168,13 @@ class LoadRun:
             "cache": self.cache,
             "net": self.net,
         }
+        if self.error_kinds is not None:
+            # Only under flow control: a flow-off report keeps its exact
+            # legacy key set (the CI determinism diff depends on it).
+            out["errors_by_kind"] = {
+                kind: self.error_kinds[kind] for kind in sorted(self.error_kinds)
+            }
+        return out
 
 
 def _percentile(ordered: list[float], pct: float) -> float:
@@ -170,6 +182,24 @@ def _percentile(ordered: list[float], pct: float) -> float:
         return 0.0
     index = max(0, math.ceil(pct / 100.0 * len(ordered)) - 1)
     return ordered[index]
+
+
+def classify_error(exc: Exception) -> str:
+    """Bucket a load-run failure for the errors-by-kind breakdown.
+
+    ``shed`` (typed overload refusal) and ``timeout`` are mechanical;
+    ``denied`` covers both dRBAC denials and interface-narrowing refusals
+    — application-level no's that crossed the wire as
+    :class:`~repro.switchboard.rpc.RemoteError` text.
+    """
+    if isinstance(exc, RpcShedError):
+        return "shed"
+    if isinstance(exc, RpcTimeoutError):
+        return "timeout"
+    message = str(exc)
+    if message.startswith("AuthorizationError") or "no callable method" in message:
+        return "denied"
+    return "other"
 
 
 class LoadGenerator:
@@ -183,6 +213,7 @@ class LoadGenerator:
         requests: int = 40,
         depth: int = 8,
         key_store: KeyStore | None = None,
+        flow: FlowConfig | None = None,
     ) -> None:
         if clients < 1:
             raise ValueError(f"clients must be >= 1, got {clients}")
@@ -192,6 +223,7 @@ class LoadGenerator:
         self.clients = clients
         self.requests = requests
         self.depth = depth
+        self.flow = flow
         # Key material never crosses the wire, so a shared store is
         # determinism-safe and skips RSA generation in tests.
         self.key_store = key_store or KeyStore(key_bits=512)
@@ -264,7 +296,7 @@ class LoadGenerator:
                     for key in _KEYS
                 },
             )
-            server_rpc = PlainRpcEndpoint(transport, "server")
+            server_rpc = PlainRpcEndpoint(transport, "server", flow=self.flow)
             server_rpc.exporter.export("KVStore", store)
             server_rpc.exporter.export("StoreView", _read_only_view(store))
 
@@ -291,6 +323,7 @@ class LoadGenerator:
 
             transcripts: list[list[str]] = []
             errors = 0
+            error_kinds: dict[str, int] = {}
             for client_index, pipeline in enumerate(pipelines):
                 entries: list[str] = []
                 for op_index, result in enumerate(
@@ -298,9 +331,11 @@ class LoadGenerator:
                 ):
                     if isinstance(result, Exception):
                         errors += 1
+                        kind = classify_error(result)
+                        error_kinds[kind] = error_kinds.get(kind, 0) + 1
                         obs.event(
                             "load.error", client=client_index, op=op_index,
-                            error=type(result).__name__,
+                            error=type(result).__name__, kind=kind,
                         )
                         entries.append(f"<{type(result).__name__}:{result}>")
                     else:
@@ -325,6 +360,7 @@ class LoadGenerator:
                     "invalidated": stats.invalidated,
                     "hit_rate": round(stats.hit_rate, 4),
                 },
+                error_kinds=error_kinds if self.flow is not None else None,
                 net={
                     "messages_sent": transport.stats.messages_sent,
                     "messages_delivered": transport.stats.messages_delivered,

@@ -134,6 +134,22 @@ FAULTS_RECOVERY_LATENCY = "faults.recovery.latency"
 
 TRACE_DROPPED = "obs.trace.dropped"
 
+# -- Flow control / overload protection (flow/*.py, switchboard/rpc.py) -----
+
+FLOW_ADMITTED = "flow.admitted"
+FLOW_SHED = "flow.shed"
+FLOW_BUCKET_DENIED = "flow.bucket.denied"
+FLOW_QUEUE_DEPTH = "flow.queue.depth"
+FLOW_QUEUE_WAIT = "flow.queue.wait"
+FLOW_SERVICE_BUSY = "flow.service.busy"
+FLOW_LIMITER_LIMIT = "flow.limiter.limit"
+FLOW_LIMITER_BACKOFFS = "flow.limiter.backoffs"
+FLOW_LIMITER_RAISES = "flow.limiter.raises"
+FLOW_BREAKER_OPENS = "flow.breaker.opens"
+FLOW_BREAKER_SHORT_CIRCUITS = "flow.breaker.short_circuits"
+FLOW_BREAKER_PROBES = "flow.breaker.probes"
+FLOW_RETRY_AFTER_HONORED = "flow.retry_after.honored"
+
 # -- Simulation testing (check/executor.py, check/shrink.py) ----------------
 
 CHECK_OPS = "check.ops"
@@ -261,6 +277,32 @@ CATALOGUE: tuple[MetricSpec, ...] = (
                "virtual seconds from fault injection to verified recovery"),
     MetricSpec(TRACE_DROPPED, "counter",
                "finished root spans evicted by the tracer retention bound"),
+    MetricSpec(FLOW_ADMITTED, "counter",
+               "requests admitted past flow-control admission"),
+    MetricSpec(FLOW_SHED, "counter",
+               "requests refused by flow-control admission"),
+    MetricSpec(FLOW_BUCKET_DENIED, "counter",
+               "admissions refused by a per-principal token bucket"),
+    MetricSpec(FLOW_QUEUE_DEPTH, "histogram",
+               "fair-queue backlog observed at each admission", COUNT_BUCKETS),
+    MetricSpec(FLOW_QUEUE_WAIT, "histogram",
+               "virtual seconds admitted requests spent queued"),
+    MetricSpec(FLOW_SERVICE_BUSY, "gauge",
+               "service worker slots currently occupied"),
+    MetricSpec(FLOW_LIMITER_LIMIT, "gauge",
+               "current AIMD concurrency window"),
+    MetricSpec(FLOW_LIMITER_BACKOFFS, "counter",
+               "multiplicative decreases of an AIMD window"),
+    MetricSpec(FLOW_LIMITER_RAISES, "counter",
+               "additive increases of an AIMD window"),
+    MetricSpec(FLOW_BREAKER_OPENS, "counter",
+               "circuit-breaker trips into the OPEN state"),
+    MetricSpec(FLOW_BREAKER_SHORT_CIRCUITS, "counter",
+               "calls refused locally by an open circuit breaker"),
+    MetricSpec(FLOW_BREAKER_PROBES, "counter",
+               "half-open probe calls admitted through a breaker"),
+    MetricSpec(FLOW_RETRY_AFTER_HONORED, "counter",
+               "retransmissions delayed to honor a shed retry-after hint"),
     MetricSpec(CHECK_OPS, "counter", "simtest operations executed"),
     MetricSpec(CHECK_COMPARISONS, "counter",
                "simtest oracle comparisons performed"),

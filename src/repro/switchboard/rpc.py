@@ -25,8 +25,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from .. import obs
-from ..errors import NetworkError, RpcTimeoutError, SwitchboardError
+from ..errors import NetworkError, RpcShedError, RpcTimeoutError, SwitchboardError
 from ..faults.retry import RetryPolicy
+from ..flow import AimdLimiter, CircuitBreaker, FlowConfig, FlowController, Shed
 from ..net.events import EventScheduler
 from ..net.transport import Transport
 from ..obs import names as metric_names
@@ -93,6 +94,13 @@ class PendingCall:
     span: Optional[obs.Span] = field(default=None, repr=False)
     """Client-side span covering issue → completion (dist tracing only);
     the completion paths below finish it and tag failures ``error=<type>``."""
+    on_shed: Optional[Callable[[float, dict], None]] = field(
+        default=None, repr=False
+    )
+    """Overload hook: a shed response normally aborts the call with a
+    typed :class:`~repro.errors.RpcShedError`; a retry loop installs this
+    to consume ``(retry_after, shed_info)`` and keep the call pending so
+    the same call id can be retransmitted after the hint expires."""
     _value: Any = None
     _error: Optional[str] = None
     _exception: Optional[Exception] = field(default=None, repr=False)
@@ -217,15 +225,27 @@ class RpcPipeline:
         scheduler: EventScheduler,
         *,
         depth: int = 8,
+        limiter: AimdLimiter | None = None,
     ) -> None:
         if depth < 1:
             raise SwitchboardError(f"pipeline depth must be >= 1, got {depth}")
         self._caller = caller
         self._scheduler = scheduler
         self.depth = depth
+        self.limiter = limiter
         self.in_flight = 0
         self._order: list[PendingCall] = []
         self._backlog: deque[tuple[PendingCall, tuple, dict]] = deque()
+
+    @property
+    def window(self) -> int:
+        """The current issue window: ``depth`` is the hard cap, and an
+        attached AIMD limiter clamps it further — client-side
+        backpressure, where rising observed latency shrinks how much the
+        client offers instead of piling more onto a struggling server."""
+        if self.limiter is None:
+            return self.depth
+        return max(1, min(self.depth, self.limiter.limit))
 
     def call(self, *args, **kwargs) -> PendingCall:
         """Issue (or queue) one call; returns its future immediately.
@@ -246,7 +266,7 @@ class RpcPipeline:
         return shell
 
     def _pump(self) -> None:
-        while self._backlog and self.in_flight < self.depth:
+        while self._backlog and self.in_flight < self.window:
             shell, args, kwargs = self._backlog.popleft()
             try:
                 inner = self._caller(*args, **kwargs)
@@ -255,12 +275,25 @@ class RpcPipeline:
                 continue
             self.in_flight += 1
             obs.histogram(metric_names.RPC_PIPELINE_DEPTH).observe(self.in_flight)
+            issued_at = self._scheduler.now()
             inner.add_done_callback(
-                lambda done, shell=shell: self._settle(shell, done)
+                lambda done, shell=shell, issued_at=issued_at: self._settle(
+                    shell, done, issued_at
+                )
             )
 
-    def _settle(self, shell: PendingCall, inner: PendingCall) -> None:
+    def _settle(
+        self, shell: PendingCall, inner: PendingCall, issued_at: float
+    ) -> None:
         self.in_flight -= 1
+        if self.limiter is not None:
+            # A served call — even one whose method raised remotely — is
+            # proof the server is keeping up; sheds, short-circuits, and
+            # transport failures are not.
+            self.limiter.observe(
+                self._scheduler.now() - issued_at,
+                ok=inner._exception is None,
+            )
         if inner._exception is not None:
             shell.abort(inner._exception)
         elif inner._error is not None:
@@ -354,21 +387,83 @@ class PlainRpcEndpoint:
 
     The Java-RMI stand-in: method name, arguments, and results cross the
     network as readable JSON.
+
+    Built with a :class:`~repro.flow.FlowConfig`, the endpoint grows an
+    overload-protection layer on both sides of the wire: arriving calls
+    pass through a :class:`~repro.flow.FlowController` (rate limit →
+    weighted fair queue → service slots) and may be *shed* with a
+    retry-after hint; outgoing calls pass a per-remote-node
+    :class:`~repro.flow.CircuitBreaker` that refuses locally while the
+    peer is failing.  Without a config (the default) the serving path is
+    byte-for-byte the pre-flow behaviour.
     """
 
-    def __init__(self, transport: Transport, node_name: str) -> None:
+    def __init__(
+        self,
+        transport: Transport,
+        node_name: str,
+        *,
+        flow: FlowConfig | None = None,
+    ) -> None:
         self.transport = transport
         self.node_name = node_name
         self.exporter = ObjectExporter()
+        self.flow = flow
+        self.controller: FlowController | None = (
+            FlowController(flow, transport.scheduler, name=node_name)
+            if flow is not None
+            else None
+        )
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._pending: dict[int, PendingCall] = {}
         self._ids = CallIdPool()
         transport.network.node(node_name).bind(PLAIN_RPC_SERVICE, self._on_frame)
+
+    # -- flow control ---------------------------------------------------------
+
+    def _breaker_for(self, remote_node: str) -> CircuitBreaker | None:
+        cfg = self.flow
+        if cfg is None or not (cfg.enabled and cfg.breaker_enabled):
+            return None
+        breaker = self._breakers.get(remote_node)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.transport.scheduler,
+                failure_threshold=cfg.breaker_failures,
+                window_s=cfg.breaker_window_s,
+                open_s=cfg.breaker_open_s,
+                half_open_probes=cfg.breaker_probes,
+                name=f"{self.node_name}->{remote_node}",
+            )
+            self._breakers[remote_node] = breaker
+        return breaker
+
+    def _short_circuit(
+        self, remote_node: str, method: str, breaker: CircuitBreaker
+    ) -> PendingCall:
+        """Refuse a call locally: nothing touches the wire while the
+        breaker is open, which is the whole point — give the failing peer
+        its recovery window instead of feeding it more traffic."""
+        obs.counter(metric_names.FLOW_BREAKER_SHORT_CIRCUITS).inc()
+        pending = PendingCall(
+            call_id=0, method=method, _scheduler=self.transport.scheduler
+        )
+        pending.abort(
+            RpcShedError(
+                f"circuit open for {remote_node}: call {method!r} refused locally",
+                retry_after=breaker.retry_after(),
+            )
+        )
+        return pending
 
     # -- client side --------------------------------------------------------
 
     def call(
         self, remote_node: str, target: str, method: str, args: list | None = None
     ) -> PendingCall:
+        breaker = self._breaker_for(remote_node)
+        if breaker is not None and not breaker.allow():
+            return self._short_circuit(remote_node, method, breaker)
         call_id = self._ids.acquire()
         pending = PendingCall(
             call_id=call_id, method=method, _scheduler=self.transport.scheduler
@@ -425,7 +520,19 @@ class PlainRpcEndpoint:
             self._ids.release(call_id)
             if span is not None:
                 span.set_error("NetworkError")
+            if breaker is not None:
+                breaker.on_failure()
             pending.fail(str(exc))
+            return pending
+        if breaker is not None:
+            # Typed aborts — shed responses, dropped frames, teardown —
+            # count against the breaker; a remote *response* of any kind
+            # (even a remote exception) is proof of service.
+            pending.add_done_callback(
+                lambda done: breaker.on_failure()
+                if done._exception is not None
+                else breaker.on_success()
+            )
         return pending
 
     def call_sync(
@@ -434,16 +541,24 @@ class PlainRpcEndpoint:
         return self.call(remote_node, target, method, args).wait()
 
     def pipeline(
-        self, remote_node: str, target: str, *, depth: int = 8
+        self,
+        remote_node: str,
+        target: str,
+        *,
+        depth: int = 8,
+        limiter: AimdLimiter | None = None,
     ) -> RpcPipeline:
         """A pipelined caller for one remote object: ``p.call(method, args)``.
 
         Keeps up to ``depth`` requests in flight; see :class:`RpcPipeline`.
+        Pass an :class:`~repro.flow.AimdLimiter` to let observed latency
+        clamp the window below ``depth`` (client-side backpressure).
         """
         return RpcPipeline(
             lambda method, args=None: self.call(remote_node, target, method, args),
             self.transport.scheduler,
             depth=depth,
+            limiter=limiter,
         )
 
     def call_with_retry(
@@ -470,7 +585,16 @@ class PlainRpcEndpoint:
         The remote method may execute more than once — callers pick this
         for idempotent operations; exactly-once semantics belong to the
         Switchboard layer's sequencing.
+
+        Under flow control two extra behaviours kick in: a shed response
+        from an overloaded server defers the next retransmission until
+        its retry-after hint expires (instead of hammering the usual
+        schedule), and an open circuit breaker refuses the call locally
+        before anything touches the wire.
         """
+        breaker = self._breaker_for(remote_node)
+        if breaker is not None and not breaker.allow():
+            return self._short_circuit(remote_node, method, breaker)
         if policy is None:
             policy = RetryPolicy.fixed(timeout, retries)
         schedule = policy.schedule()
@@ -502,7 +626,37 @@ class PlainRpcEndpoint:
             )
             pending.span = span
 
+        earliest = 0.0  # virtual time before which retransmission must wait
+        last_shed: Optional[float] = None
+        gave_up = False
+
+        def on_shed(retry_after: float, info: dict) -> None:
+            # The server is alive but refusing work: honor its hint by
+            # pushing the next retransmission past ``now + retry_after``
+            # rather than re-sending on the usual cadence into a queue
+            # that already refused us once.
+            nonlocal earliest, last_shed
+            last_shed = retry_after
+            earliest = max(
+                earliest, self.transport.scheduler.now() + retry_after
+            )
+            obs.counter(metric_names.FLOW_RETRY_AFTER_HONORED).inc()
+            if breaker is not None:
+                breaker.on_failure()
+
+        pending.on_shed = on_shed
+        if breaker is not None:
+            pending.add_done_callback(
+                # give_up and on_shed record their own failures; any other
+                # completion means the remote actually served the call.
+                lambda done: breaker.on_success()
+                if done._exception is None and not gave_up
+                else None
+            )
+
         def give_up() -> None:
+            nonlocal gave_up
+            gave_up = True
             self._pending.pop(call_id, None)
             obs.counter(metric_names.RPC_RETRIES_EXHAUSTED).inc()
             obs.event(
@@ -512,10 +666,24 @@ class PlainRpcEndpoint:
             )
             if span is not None:
                 span.set_error("RetriesExhausted")
-            pending.fail(
-                f"no response from {remote_node}/{target}.{method} after "
-                f"{schedule.attempts_made} attempts"
-            )
+            if breaker is not None:
+                breaker.on_failure()
+            if last_shed is not None:
+                # Every attempt that got an answer was refused: surface
+                # the overload as a typed error with the freshest hint,
+                # not a generic no-response failure.
+                pending.abort(
+                    RpcShedError(
+                        f"{remote_node}/{target}.{method} shed after "
+                        f"{schedule.attempts_made} attempts",
+                        retry_after=last_shed,
+                    )
+                )
+            else:
+                pending.fail(
+                    f"no response from {remote_node}/{target}.{method} after "
+                    f"{schedule.attempts_made} attempts"
+                )
 
         def transmit(*, is_retry: bool) -> None:
             nonlocal attempts
@@ -554,6 +722,8 @@ class PlainRpcEndpoint:
             except NetworkError:
                 # No route right now; keep the schedule ticking — the
                 # fault may heal before the attempts run out.
+                if breaker is not None:
+                    breaker.on_failure()
                 if attempt_span is not None:
                     attempt_span.set_error("NetworkError")
             finally:
@@ -568,8 +738,15 @@ class PlainRpcEndpoint:
                 self.transport.scheduler.schedule(wait, check)
 
         def check() -> None:
-            if not pending.done:
-                transmit(is_retry=True)
+            if pending.done:
+                return
+            now = self.transport.scheduler.now()
+            if now < earliest:
+                # A shed pushed the next attempt out past this wake-up;
+                # park until the server's hint expires.
+                self.transport.scheduler.schedule(earliest - now, check)
+                return
+            transmit(is_retry=True)
 
         def finalize() -> None:
             if not pending.done:
@@ -591,6 +768,43 @@ class PlainRpcEndpoint:
             raise SwitchboardError(f"unknown RPC frame type {kind!r}")
 
     def _serve(self, frame: dict) -> None:
+        if self.controller is not None:
+            shed = self.controller.submit(
+                frame.get("reply_to", ""),
+                frame["target"],
+                frame["method"],
+                lambda: self._execute(frame),
+            )
+            if shed is not None:
+                self._send_shed(frame, shed)
+            return
+        self._execute(frame)
+
+    def _send_shed(self, frame: dict, shed: Shed) -> None:
+        """Refuse a call: a small result frame carrying the retry hint,
+        so the caller backs off instead of timing out and retrying into
+        the same overloaded queue."""
+        response: dict[str, Any] = {
+            "type": "result",
+            "call_id": frame["call_id"],
+            "shed": {
+                "retry_after": round(shed.retry_after, 6),
+                "reason": shed.reason,
+                "class": shed.cls,
+            },
+        }
+        if frame.get("tc") is not None:
+            response["tc"] = frame["tc"]
+        try:
+            self.transport.send(
+                self.node_name, frame["reply_to"], PLAIN_RPC_SERVICE,
+                encode_frame(response),
+            )
+        except NetworkError:
+            # An unroutable refusal is just a lost frame to the caller.
+            pass
+
+    def _execute(self, frame: dict) -> None:
         tc = frame.get("tc")
         span = None
         if tc is not None and obs.is_enabled():
@@ -643,6 +857,10 @@ class PlainRpcEndpoint:
                 span.finish()
 
     def _complete(self, frame: dict) -> None:
+        shed = frame.get("shed")
+        if shed is not None:
+            self._complete_shed(frame, shed)
+            return
         pending = self._pending.pop(frame["call_id"], None)
         if pending is None:
             return  # response for a forgotten call
@@ -651,6 +869,27 @@ class PlainRpcEndpoint:
             pending.fail(frame["error"])
         else:
             pending.resolve(frame.get("value"))
+
+    def _complete_shed(self, frame: dict, shed: dict) -> None:
+        pending = self._pending.get(frame["call_id"])
+        if pending is None or pending.done:
+            return  # refusal for a forgotten (or already-failed) call
+        retry_after = float(shed.get("retry_after", 0.0))
+        if pending.on_shed is not None:
+            # A retry loop owns this call: leave it registered — the same
+            # call id will be retransmitted once the hint expires — and
+            # hand the hint over.
+            pending.on_shed(retry_after, shed)
+            return
+        self._pending.pop(frame["call_id"], None)
+        self._ids.release(frame["call_id"])
+        pending.abort(
+            RpcShedError(
+                f"call {pending.method!r} shed by remote "
+                f"({shed.get('reason', '?')}); retry after {retry_after}s",
+                retry_after=retry_after,
+            )
+        )
 
 
 def encode_frame(frame: dict) -> bytes:

@@ -37,13 +37,27 @@ class TestDelaySequences:
         )
         assert policy.delays() == [0.5, 1.0, 2.0, 3.0, 3.0]
 
-    def test_deadline_caps_total_waiting(self):
+    def test_deadline_clamps_final_delay_to_remaining_budget(self):
         policy = RetryPolicy(
             base_delay=1.0, multiplier=2.0, max_attempts=10, deadline=4.0
         )
         delays = policy.delays()
-        # 1 + 2 = 3 fits; the next wait (4) would overshoot the deadline.
-        assert delays == [1.0, 2.0]
+        # 1 + 2 = 3 fits; the next wait (4) clamps to the remaining 1s
+        # instead of being refused with budget unspent.
+        assert delays == [1.0, 2.0, 1.0]
+        assert sum(delays) == 4.0
+
+    def test_deadline_never_overshot(self):
+        for deadline in (0.5, 1.0, 2.5, 7.0):
+            policy = RetryPolicy(
+                base_delay=0.3, multiplier=2.0, max_attempts=12, deadline=deadline
+            )
+            delays = policy.delays()
+            assert sum(delays) <= deadline + 1e-12
+            # The budget is spent, not abandoned: either attempts ran out
+            # or the waits add up to the full deadline.
+            if len(delays) < policy.max_attempts - 1:
+                assert sum(delays) == pytest.approx(deadline)
 
     def test_single_attempt_policy_never_waits(self):
         assert RetryPolicy(max_attempts=1).delays() == []
@@ -84,3 +98,32 @@ class TestSchedule:
         first = list(policy.schedule())
         second = list(policy.schedule())
         assert first == second
+
+
+class TestDeadlineOverVirtualClock:
+    def test_retry_loop_never_sleeps_past_the_deadline(self):
+        """Regression: drive a deadline schedule through a real event
+        scheduler and check the last wake-up lands exactly on the
+        deadline instead of the schedule giving up with budget unspent
+        (or, worse, sleeping beyond it)."""
+        from repro.net.events import EventScheduler
+
+        scheduler = EventScheduler()
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=2.0, max_attempts=10, deadline=4.0
+        )
+        schedule = policy.schedule()
+        wakeups: list[float] = []
+
+        def attempt() -> None:
+            wakeups.append(scheduler.now())
+            delay = schedule.next_delay()
+            if delay is not None:
+                scheduler.schedule(delay, attempt)
+
+        attempt()
+        scheduler.run()
+        # Attempts at t=0, 1, 3, 4: the 4s backoff clamps to the 1s left.
+        assert wakeups == [0.0, 1.0, 3.0, 4.0]
+        assert wakeups[-1] == policy.deadline
+        assert all(t <= policy.deadline for t in wakeups)

@@ -1,0 +1,109 @@
+"""CircuitBreaker state machine: trip, refuse, half-open probe, close."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultError
+from repro.flow import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def now(self) -> float:
+        return self.t
+
+
+def _breaker(**kwargs) -> tuple[CircuitBreaker, FakeClock]:
+    clock = FakeClock()
+    defaults = dict(
+        failure_threshold=3, window_s=1.0, open_s=1.0, half_open_probes=1
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker(clock, **defaults), clock
+
+
+class TestValidation:
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(FaultError, match="failure_threshold"):
+            CircuitBreaker(FakeClock(), failure_threshold=0)
+
+    def test_rejects_zero_probes(self):
+        with pytest.raises(FaultError, match="half_open_probes"):
+            CircuitBreaker(FakeClock(), half_open_probes=0)
+
+
+class TestTripping:
+    def test_trips_after_threshold_failures_in_window(self):
+        breaker, _clock = _breaker(failure_threshold=3)
+        for _ in range(2):
+            breaker.on_failure()
+        assert breaker.state == CLOSED
+        breaker.on_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_old_failures_age_out_of_the_window(self):
+        breaker, clock = _breaker(failure_threshold=3, window_s=1.0)
+        breaker.on_failure()
+        breaker.on_failure()
+        clock.t += 2.0  # both slide out of the window
+        breaker.on_failure()
+        assert breaker.state == CLOSED
+
+    def test_retry_after_counts_down(self):
+        breaker, clock = _breaker(failure_threshold=1, open_s=1.0)
+        breaker.on_failure()
+        assert breaker.retry_after() == 1.0
+        clock.t += 0.25
+        assert breaker.retry_after() == 0.75
+        assert breaker.state == OPEN
+
+
+class TestHalfOpen:
+    def test_probe_budget_after_open_interval(self):
+        breaker, clock = _breaker(failure_threshold=1, open_s=1.0,
+                                  half_open_probes=1)
+        breaker.on_failure()
+        assert not breaker.allow()
+        clock.t += 1.0
+        assert breaker.allow()  # the single probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()  # budget exhausted until an outcome
+
+    def test_successful_probes_close_the_breaker(self):
+        breaker, clock = _breaker(failure_threshold=1, half_open_probes=2)
+        breaker.on_failure()
+        clock.t += 1.0
+        assert breaker.allow()
+        assert breaker.allow()
+        breaker.on_success()
+        assert breaker.state == HALF_OPEN  # one of two probes back
+        breaker.on_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_for_another_interval(self):
+        breaker, clock = _breaker(failure_threshold=1, open_s=1.0)
+        breaker.on_failure()
+        clock.t += 1.0
+        assert breaker.allow()
+        breaker.on_failure()
+        assert breaker.state == OPEN
+        assert breaker.retry_after() == 1.0
+        assert not breaker.allow()
+
+    def test_close_clears_the_failure_history(self):
+        """After a clean close, it takes a full threshold of *fresh*
+        failures to trip again — stale history is forgiven."""
+        breaker, clock = _breaker(failure_threshold=2, open_s=1.0)
+        breaker.on_failure()
+        breaker.on_failure()
+        clock.t += 1.0
+        assert breaker.allow()
+        breaker.on_success()
+        assert breaker.state == CLOSED
+        breaker.on_failure()
+        assert breaker.state == CLOSED

@@ -1,0 +1,137 @@
+"""TokenBucket properties: conservation, non-negativity, determinism."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FaultError
+from repro.flow import TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def now(self) -> float:
+        return self.t
+
+
+def _bucket(rate: float = 10.0, burst: float = 5.0) -> tuple[TokenBucket, FakeClock]:
+    clock = FakeClock()
+    return TokenBucket(rate, burst, clock), clock
+
+
+class TestValidation:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(FaultError, match="rate"):
+            TokenBucket(0.0, 5.0, FakeClock())
+
+    def test_rejects_nonpositive_burst(self):
+        with pytest.raises(FaultError, match="burst"):
+            TokenBucket(10.0, 0.0, FakeClock())
+
+
+class TestBasics:
+    def test_starts_full(self):
+        bucket, clock = _bucket(burst=3.0)
+        assert bucket.available(clock.now()) == 3.0
+
+    def test_burst_admits_then_refuses(self):
+        bucket, clock = _bucket(rate=1.0, burst=2.0)
+        assert bucket.try_acquire(clock.now())
+        assert bucket.try_acquire(clock.now())
+        assert not bucket.try_acquire(clock.now())
+
+    def test_refill_is_lazy_and_capped_at_burst(self):
+        bucket, clock = _bucket(rate=10.0, burst=5.0)
+        for _ in range(5):
+            assert bucket.try_acquire(clock.now())
+        clock.t = 1000.0
+        assert bucket.available(clock.now()) == 5.0
+
+    def test_time_until_is_honest(self):
+        """Retrying exactly at ``now + time_until`` succeeds; retrying
+        any earlier is refused again — the retry-after contract."""
+        bucket, clock = _bucket(rate=4.0, burst=1.0)
+        assert bucket.try_acquire(clock.now())
+        wait = bucket.time_until(clock.now())
+        assert wait > 0
+        clock.t += wait * 0.5
+        assert not bucket.try_acquire(clock.now())
+        clock.t += wait * 0.5
+        assert bucket.try_acquire(clock.now())
+
+    def test_time_until_zero_when_available(self):
+        bucket, clock = _bucket()
+        assert bucket.time_until(clock.now()) == 0.0
+
+
+@st.composite
+def schedules(draw):
+    """A monotone virtual-time schedule of acquire attempts."""
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.floats(0.0, 2.0, allow_nan=False),  # dt before attempt
+                st.floats(0.1, 3.0, allow_nan=False),  # tokens requested
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    rate = draw(st.floats(0.5, 50.0, allow_nan=False))
+    burst = draw(st.floats(0.5, 20.0, allow_nan=False))
+    return rate, burst, steps
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(schedules())
+    def test_conservation_and_nonnegativity(self, schedule):
+        """Granted tokens never exceed burst + rate * elapsed, and the
+        bucket level never goes negative."""
+        rate, burst, steps = schedule
+        clock = FakeClock()
+        bucket = TokenBucket(rate, burst, clock)
+        granted = 0.0
+        for dt, tokens in steps:
+            clock.t += dt
+            if bucket.try_acquire(clock.now(), tokens):
+                granted += tokens
+            assert bucket.available(clock.now()) >= 0.0
+            assert granted <= burst + rate * clock.t + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(schedules())
+    def test_identical_schedules_are_bit_identical(self, schedule):
+        """Two buckets driven through the same virtual-time schedule make
+        identical decisions and hold identical token counts — the refill
+        is a pure function of elapsed time, not call count."""
+        rate, burst, steps = schedule
+        a_clock, b_clock = FakeClock(), FakeClock()
+        a = TokenBucket(rate, burst, a_clock)
+        b = TokenBucket(rate, burst, b_clock)
+        for dt, tokens in steps:
+            a_clock.t += dt
+            b_clock.t += dt
+            assert a.try_acquire(a_clock.now(), tokens) == b.try_acquire(
+                b_clock.now(), tokens
+            )
+            assert a.available(a_clock.now()) == b.available(b_clock.now())
+            assert a.time_until(a_clock.now()) == b.time_until(b_clock.now())
+
+    @settings(max_examples=100, deadline=None)
+    @given(schedules())
+    def test_retry_after_hint_never_lies_early(self, schedule):
+        """time_until is a lower bound: an attempt strictly before it
+        (with no intervening refill-consuming traffic) must fail."""
+        rate, burst, steps = schedule
+        clock = FakeClock()
+        bucket = TokenBucket(rate, burst, clock)
+        for dt, tokens in steps:
+            clock.t += dt
+            wait = bucket.time_until(clock.now(), tokens)
+            if wait > 0 and tokens <= burst:
+                assert not bucket.try_acquire(clock.now(), tokens)

@@ -1,0 +1,93 @@
+"""AimdLimiter: additive increase, multiplicative decrease, cooldown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultError
+from repro.flow import AimdLimiter
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def now(self) -> float:
+        return self.t
+
+
+def _limiter(**kwargs) -> tuple[AimdLimiter, FakeClock]:
+    clock = FakeClock()
+    defaults = dict(initial=8, min_limit=1, max_limit=64, target_latency_s=0.1)
+    defaults.update(kwargs)
+    return AimdLimiter(clock, **defaults), clock
+
+
+class TestValidation:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(FaultError, match="min_limit"):
+            AimdLimiter(FakeClock(), initial=2, min_limit=4, max_limit=8)
+
+    def test_rejects_bad_backoff(self):
+        with pytest.raises(FaultError, match="backoff"):
+            AimdLimiter(FakeClock(), backoff=1.0)
+
+
+class TestDecrease:
+    def test_failure_halves_the_window(self):
+        limiter, _clock = _limiter(initial=8)
+        limiter.observe(0.01, ok=False)
+        assert limiter.limit == 4
+        assert limiter.backoffs == 1
+
+    def test_slow_success_also_backs_off(self):
+        limiter, _clock = _limiter(initial=8, target_latency_s=0.1)
+        limiter.observe(0.5, ok=True)
+        assert limiter.limit == 4
+
+    def test_cooldown_coalesces_a_failure_burst(self):
+        """A queue full of failures from one congestion instant collapses
+        the window once, not once per failure."""
+        limiter, clock = _limiter(initial=16, cooldown_s=0.05)
+        for _ in range(10):
+            limiter.observe(0.01, ok=False)
+        assert limiter.limit == 8
+        clock.t += 0.05
+        limiter.observe(0.01, ok=False)
+        assert limiter.limit == 4
+
+    def test_never_below_min_limit(self):
+        limiter, clock = _limiter(initial=4, min_limit=2)
+        for n in range(10):
+            clock.t += 1.0
+            limiter.observe(0.01, ok=False)
+        assert limiter.limit == 2
+
+
+class TestIncrease:
+    def test_one_raise_per_full_window_of_successes(self):
+        limiter, _clock = _limiter(initial=4)
+        for _ in range(3):
+            limiter.observe(0.01)
+        assert limiter.limit == 4
+        limiter.observe(0.01)
+        assert limiter.limit == 5
+        assert limiter.raises == 1
+
+    def test_never_above_max_limit(self):
+        limiter, _clock = _limiter(initial=4, max_limit=5)
+        for _ in range(100):
+            limiter.observe(0.01)
+        assert limiter.limit == 5
+
+    def test_failure_resets_accumulated_credit(self):
+        limiter, clock = _limiter(initial=4)
+        for _ in range(3):
+            limiter.observe(0.01)
+        clock.t += 1.0
+        limiter.observe(0.01, ok=False)  # limit 4 -> 2, credit wiped
+        assert limiter.limit == 2
+        limiter.observe(0.01)
+        assert limiter.limit == 2  # one success is half a window at limit 2
+        limiter.observe(0.01)
+        assert limiter.limit == 3

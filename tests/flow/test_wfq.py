@@ -1,0 +1,169 @@
+"""WeightedFairQueue properties: work conservation, weighted shares,
+deterministic tie-breaking."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FaultError
+from repro.flow import WeightedFairQueue
+
+
+class TestValidation:
+    def test_rejects_empty_weights(self):
+        with pytest.raises(FaultError, match="at least one"):
+            WeightedFairQueue(())
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(FaultError, match="positive"):
+            WeightedFairQueue((1.0, 0.0))
+
+    def test_rejects_out_of_range_class(self):
+        q = WeightedFairQueue((1.0, 2.0))
+        with pytest.raises(FaultError, match="out of range"):
+            q.push(2, "x")
+
+    def test_rejects_nonpositive_size(self):
+        q = WeightedFairQueue((1.0,))
+        with pytest.raises(FaultError, match="size"):
+            q.push(0, "x", size=0.0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(FaultError, match="empty"):
+            WeightedFairQueue((1.0,)).pop()
+
+
+class TestBasics:
+    def test_fifo_within_one_class(self):
+        q = WeightedFairQueue((1.0,))
+        for n in range(5):
+            q.push(0, n)
+        assert [item for _cls, item in q.drain()] == [0, 1, 2, 3, 4]
+
+    def test_higher_weight_class_served_more_often(self):
+        q = WeightedFairQueue((4.0, 1.0))
+        for n in range(20):
+            q.push(0, f"hi{n}")
+            q.push(1, f"lo{n}")
+        first_ten = [cls for cls, _item in (q.pop() for _ in range(10))]
+        assert first_ten.count(0) == 8
+        assert first_ten.count(1) == 2
+
+    def test_idle_class_banks_no_credit(self):
+        """A class that was idle while others were served cannot burst
+        ahead of them afterwards: its start tag lifts to the virtual
+        clock, so it only gets its share going forward."""
+        q = WeightedFairQueue((1.0, 1.0))
+        for n in range(10):
+            q.push(0, f"a{n}")
+        for _ in range(10):
+            q.pop()
+        # Class 1 arrives late; class 0 keeps a backlog.
+        for n in range(4):
+            q.push(0, f"b{n}")
+            q.push(1, f"c{n}")
+        order = [cls for cls, _item in q.drain()]
+        # Equal weights from here on: strict alternation, no catch-up burst.
+        assert order.count(1) == 4
+        assert order[:2].count(1) <= 1
+
+    def test_depth_tracking(self):
+        q = WeightedFairQueue((1.0, 1.0))
+        q.push(0, "a")
+        q.push(1, "b")
+        q.push(1, "c")
+        assert len(q) == 3
+        assert q.depth(0) == 1
+        assert q.depth(1) == 2
+        q.pop()
+        assert len(q) == 2
+
+
+@st.composite
+def workloads(draw):
+    n_classes = draw(st.integers(1, 4))
+    weights = tuple(
+        draw(
+            st.lists(
+                st.floats(0.5, 8.0, allow_nan=False),
+                min_size=n_classes,
+                max_size=n_classes,
+            )
+        )
+    )
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n_classes - 1),
+                st.floats(0.5, 2.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    return weights, ops
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(workloads())
+    def test_work_conserving(self, workload):
+        """Everything pushed comes back out, exactly once, and pop never
+        fails while the queue is non-empty."""
+        weights, ops = workload
+        q = WeightedFairQueue(weights)
+        pushed = []
+        for index, (cls, size) in enumerate(ops):
+            q.push(cls, index, size=size)
+            pushed.append(index)
+        popped = []
+        while len(q):
+            _cls, item = q.pop()
+            popped.append(item)
+        assert sorted(popped) == pushed
+
+    @settings(max_examples=100, deadline=None)
+    @given(workloads())
+    def test_deterministic_service_order(self, workload):
+        """Two queues fed the identical sequence drain identically —
+        ties break on arrival order, never hash order."""
+        weights, ops = workload
+        a, b = WeightedFairQueue(weights), WeightedFairQueue(weights)
+        for index, (cls, size) in enumerate(ops):
+            a.push(cls, index, size=size)
+            b.push(cls, index, size=size)
+        assert a.drain() == b.drain()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(2, 4), st.data())
+    def test_backlogged_classes_share_by_weight(self, n_classes, data):
+        """With every class continuously backlogged, service counts over
+        a long window match the weight proportions within one item."""
+        weights = tuple(
+            data.draw(
+                st.lists(
+                    st.sampled_from([1.0, 2.0, 4.0, 8.0]),
+                    min_size=n_classes,
+                    max_size=n_classes,
+                )
+            )
+        )
+        q = WeightedFairQueue(weights)
+        per_class = 64
+        for n in range(per_class):
+            for cls in range(n_classes):
+                q.push(cls, (cls, n))
+        # After exactly m * sum(weights) pops with every class still
+        # backlogged, virtual time has advanced by exactly m, so class c
+        # (finish tags k / w_c) has been served exactly m * w_c times.
+        m = 2
+        rounds = m * int(sum(weights))
+        served = [0] * n_classes
+        for _ in range(rounds):
+            cls, _item = q.pop()
+            served[cls] += 1
+        assert served == [m * int(w) for w in weights], (
+            f"served {served} for weights {weights}"
+        )

@@ -68,6 +68,45 @@ class TestMetricCatalogue:
         }
         assert not mismatched, f"metric kind conflicts: {mismatched}"
 
+    def test_flow_metrics_are_catalogued_with_matching_kinds(self):
+        """Drive the overload-protection stack — admission, shedding,
+        limiter adaptation, breaker trips — and check every ``flow.*``
+        metric it emits against the catalogue.  An uncatalogued flow
+        metric name fails here, same as any other subsystem."""
+        from repro.flow import AimdLimiter, CircuitBreaker, FlowConfig, FlowController
+        from repro.net.events import EventScheduler
+
+        by_name = catalogue_by_name()
+        with obs.scoped() as registry:
+            scheduler = EventScheduler()
+            controller = FlowController(
+                FlowConfig(bucket_rate=1.0, bucket_burst=1.0, max_backlog=1),
+                scheduler,
+                name="test",
+            )
+            for n in range(4):
+                controller.submit("p", "BlobStore", "put_blob", lambda: None)
+            limiter = AimdLimiter(scheduler, initial=4)
+            limiter.observe(0.01, ok=False)
+            for _ in range(4):
+                limiter.observe(0.01)
+            breaker = CircuitBreaker(scheduler, failure_threshold=1)
+            breaker.on_failure()
+            live_kinds = registry.kinds()
+        flow_metrics = {
+            name: kind for name, kind in live_kinds.items()
+            if name.startswith("flow.")
+        }
+        assert flow_metrics, "the flow stack recorded no flow.* metrics"
+        strays = set(flow_metrics) - set(by_name)
+        assert not strays, f"flow metrics missing from the catalogue: {strays}"
+        mismatched = {
+            name: (kind, by_name[name].kind)
+            for name, kind in flow_metrics.items()
+            if by_name[name].kind != kind
+        }
+        assert not mismatched, f"flow metric kind conflicts: {mismatched}"
+
     def test_scenario_lights_up_every_subsystem(self):
         """The acceptance criterion behind ``repro stats``: the mail
         scenario produces non-zero proof-search, channel, and deployment
