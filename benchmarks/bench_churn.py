@@ -1,0 +1,58 @@
+"""E-CHURN — authorization cost under credential churn, full vs incremental.
+
+Replays one seeded publish/revoke/expiry/authorize schedule
+(``repro.load.churn``) through both authorization arms and reports the
+deterministic work-unit comparison — the wall-clock numbers from
+``benchmark`` ride along, but the headline is the authorize-after-revoke
+throughput ratio, which is seed-stable.  ``BENCH_churn.json`` (written by
+``python -m repro bench-churn --seed 7 --json --out BENCH_churn.json``)
+records the checked-in snapshot.
+"""
+
+from __future__ import annotations
+
+from repro.load.churn import ChurnBench
+
+from conftest import print_table
+
+SEED = 7
+OPS = 600
+
+
+def test_churn_full_vs_incremental(benchmark, key_store):
+    bench = ChurnBench(seed=SEED, ops=OPS, key_store=key_store)
+    report = benchmark(bench.run)
+
+    rows = []
+    for name in ("full", "incremental"):
+        arm = report["arms"][name]
+        pr = arm["post_revoke"]
+        rows.append(
+            [
+                name,
+                arm["work_units"],
+                arm["search_edges"],
+                arm["repo_queries"],
+                arm["incr_work"],
+                f"{pr['count']}/{pr['work_units']}",
+                pr["throughput_per_kwork"],
+            ]
+        )
+    print_table(
+        f"E-CHURN: seed={SEED} ops={OPS} "
+        f"speedup={report['speedup']['authorize_after_revoke']}x "
+        f"(overall work {report['speedup']['overall_work']}x)",
+        ["arm", "work", "edges", "queries", "incr", "post-revoke q/w", "per kwork"],
+        rows,
+    )
+
+    assert report["transcripts_match"], "arms returned different verdicts"
+    assert report["oracle_agrees"], "an arm disagreed with the naive oracle"
+    assert report["speedup"]["authorize_after_revoke"] >= 3.0, report["speedup"]
+
+
+def test_churn_is_deterministic(key_store):
+    """Same seed, same report — byte-stable across runs."""
+    first = ChurnBench(seed=SEED, ops=200, key_store=key_store).run()
+    second = ChurnBench(seed=SEED, ops=200, key_store=key_store).run()
+    assert first == second

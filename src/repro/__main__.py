@@ -39,6 +39,15 @@ goodput retention at 10x, zero monitor-class sheds, no starvation of the
 lowest class — and exits non-zero when one fails.  Same seed,
 byte-identical JSON.
 
+``python -m repro bench-churn --seed N [--ops K] [--json]`` replays one
+seeded publish/revoke/expiry/authorize schedule through the full-search
+and incremental authorization engines (:mod:`repro.load.churn`) behind
+the same sharded cache, comparing deterministic work units — credential
+edges searched + repository queries + incremental maintenance — with the
+headline authorize-after-revoke throughput ratio.  Verdict transcripts
+must match across arms and agree with the reference oracle, or the exit
+status is non-zero.  Same seed, byte-identical JSON.
+
 ``python -m repro simtest --seed N [--steps S] [--chaos] [--json]`` runs
 the model-based simulation checker (:mod:`repro.check`): a seeded
 interleaved workload of delegations, revocations, view accesses, and
@@ -397,6 +406,100 @@ def run_bench_load(argv: list[str] | None = None) -> int:
     return 0 if report["transcripts_match"] else 1
 
 
+def run_bench_churn(argv: list[str] | None = None) -> int:
+    """The ``repro bench-churn`` subcommand.
+
+    Replays one seeded publish/revoke/expiry/authorize schedule through
+    the full-search and incremental authorization arms
+    (:mod:`repro.load.churn`) and prints the work-unit comparison.
+    Identical seeds produce byte-identical ``--json`` output; exit
+    status is non-zero when the arms' verdict transcripts diverge or
+    either arm disagrees with the reference oracle.
+    """
+    from .load import run_bench_churn as run_churn
+
+    argv = list(argv or [])
+    usage = (
+        "usage: python -m repro bench-churn [--seed N] [--ops K]"
+        " [--json] [--out PATH]"
+    )
+    seed, ops = 7, 600
+    as_json = False
+    out_path: str | None = None
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "--json":
+            as_json = True
+            index += 1
+            continue
+        if arg in ("--seed", "--ops", "--out"):
+            if index + 1 >= len(argv):
+                print(f"repro bench-churn: {arg} needs a value", file=sys.stderr)
+                print(usage, file=sys.stderr)
+                return 2
+            value = argv[index + 1]
+            try:
+                if arg == "--seed":
+                    seed = int(value)
+                elif arg == "--ops":
+                    ops = int(value)
+                else:
+                    out_path = value
+            except ValueError:
+                print(
+                    f"repro bench-churn: bad value for {arg}: {value!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            index += 2
+            continue
+        print(f"repro bench-churn: unknown argument {arg!r}", file=sys.stderr)
+        print(usage, file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    try:
+        report = run_churn(seed=seed, ops=ops)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(
+            f"repro bench-churn: run failed: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    elapsed = time.perf_counter() - started
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    if as_json:
+        print(rendered)
+    else:
+        mix = report["mix"]
+        print(
+            f"bench-churn seed={seed} ops={ops} "
+            f"(delegate {mix['delegate']}, revoke {mix['revoke']}, "
+            f"authorize {mix['authorize']}, advance {mix['advance']}) "
+            f"wall {elapsed:.2f}s"
+        )
+        for name in ("full", "incremental"):
+            arm = report["arms"][name]
+            pr = arm["post_revoke"]
+            print(
+                f"  {name:>11}: work {arm['work_units']:>6}  "
+                f"grants {arm['grants']}  denials {arm['denials']}  "
+                f"post-revoke {pr['count']} queries / {pr['work_units']} work "
+                f"= {pr['throughput_per_kwork']:.1f} per kwork"
+            )
+        print(
+            f"  speedup: authorize-after-revoke "
+            f"{report['speedup']['authorize_after_revoke']:.2f}x  "
+            f"overall work {report['speedup']['overall_work']:.2f}x  "
+            f"transcripts match: {'yes' if report['transcripts_match'] else 'NO'}  "
+            f"oracle agrees: {'yes' if report['oracle_agrees'] else 'NO'}"
+        )
+    return 0 if report["transcripts_match"] and report["oracle_agrees"] else 1
+
+
 def run_bench_overload(argv: list[str] | None = None) -> int:
     """The ``repro bench-overload`` subcommand.
 
@@ -498,12 +601,14 @@ def run_simtest(argv: list[str] | None = None) -> int:
     argv = list(argv or [])
     usage = (
         "usage: python -m repro simtest [--seed N] [--steps S] [--chaos]"
-        " [--mutate NAME] [--replay FILE] [--out PATH] [--json]"
+        " [--engine incr|full] [--mutate NAME] [--replay FILE] [--out PATH]"
+        " [--json]"
     )
     seed, steps = 7, 500
     chaos = as_json = False
     mutation: str | None = None
     replay_path: str | None = None
+    engine = "incr"
     out_path = "simtest-repro.json"
     index = 0
     while index < len(argv):
@@ -516,7 +621,7 @@ def run_simtest(argv: list[str] | None = None) -> int:
             chaos = True
             index += 1
             continue
-        if arg in ("--seed", "--steps", "--mutate", "--replay", "--out"):
+        if arg in ("--seed", "--steps", "--engine", "--mutate", "--replay", "--out"):
             if index + 1 >= len(argv):
                 print(f"repro simtest: {arg} needs a value", file=sys.stderr)
                 print(usage, file=sys.stderr)
@@ -527,6 +632,15 @@ def run_simtest(argv: list[str] | None = None) -> int:
                     seed = int(value)
                 elif arg == "--steps":
                     steps = int(value)
+                elif arg == "--engine":
+                    if value not in ("incr", "full"):
+                        print(
+                            f"repro simtest: --engine must be incr or full,"
+                            f" got {value!r}",
+                            file=sys.stderr,
+                        )
+                        return 2
+                    engine = value
                 elif arg == "--mutate":
                     mutation = value
                 elif arg == "--replay":
@@ -550,7 +664,7 @@ def run_simtest(argv: list[str] | None = None) -> int:
                 trace = Trace.from_json(handle.read())
         else:
             trace = generate_trace(seed=seed, steps=steps, chaos=chaos)
-        tester = SimTester(mutation=mutation)
+        tester = SimTester(mutation=mutation, engine=engine)
         report = tester.run(trace)
     except Exception as exc:  # noqa: BLE001 - CLI boundary
         print(
@@ -654,6 +768,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_bench_load(argv[1:])
     if argv and argv[0] == "bench-overload":
         return run_bench_overload(argv[1:])
+    if argv and argv[0] == "bench-churn":
+        return run_bench_churn(argv[1:])
     if argv and argv[0] == "simtest":
         return run_simtest(argv[1:])
     if argv and argv[0] == "trace":
@@ -668,7 +784,9 @@ def main(argv: list[str] | None = None) -> int:
             " | chaos [--seed N] [--duration S] [--json]"
             " | bench-load [--seed N] [--clients C] [--json]"
             " | bench-overload [--seed N] [--clients C] [--json]"
-            " | simtest [--seed N] [--steps S] [--chaos] [--json]"
+            " | bench-churn [--seed N] [--ops K] [--json]"
+            " | simtest [--seed N] [--steps S] [--chaos] [--engine incr|full]"
+            " [--json]"
             " | trace [--seed N] [--chaos] [--out F]",
             file=sys.stderr,
         )

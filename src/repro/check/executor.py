@@ -63,6 +63,11 @@ from .trace import Op, Trace
 
 REPORT_SCHEMA = "simtest-report/v1"
 
+ENGINE_MODES = ("incr", "full")
+"""Authorization engine arms: incremental reach maintenance vs full
+search on every miss.  Both run against the same oracles; the CI matrix
+exercises each."""
+
 #: What each view may do; the executor's expectation table and the VIG
 #: hints below must agree — that agreement is exactly what the checker
 #: exercises end to end.
@@ -172,6 +177,7 @@ class SimReport:
     steps: int
     chaos: bool
     mutation: str | None
+    engine: str
     executed: int
     comparisons: int
     net_failures: int
@@ -199,6 +205,7 @@ class SimReport:
             "steps": self.steps,
             "chaos": self.chaos,
             "mutation": self.mutation,
+            "engine": self.engine,
             "executed": self.executed,
             "comparisons": self.comparisons,
             "net_failures": self.net_failures,
@@ -245,10 +252,19 @@ class SimTester:
     """
 
     def __init__(
-        self, *, key_store: KeyStore | None = None, mutation: str | None = None
+        self,
+        *,
+        key_store: KeyStore | None = None,
+        mutation: str | None = None,
+        engine: str = "incr",
     ) -> None:
+        if engine not in ENGINE_MODES:
+            raise ValueError(
+                f"unknown engine mode {engine!r}; pick from {ENGINE_MODES}"
+            )
         self.key_store = key_store or KeyStore(key_bits=512)
         self.mutation = mutation
+        self.engine_mode = engine
 
     # -- entry point --------------------------------------------------------
 
@@ -269,7 +285,11 @@ class SimTester:
         )
         self.transport = Transport(network, self.scheduler, loss_seed=trace.seed)
 
-        self.engine = DrbacEngine(key_store=self.key_store, clock=self.scheduler)
+        self.engine = DrbacEngine(
+            key_store=self.key_store,
+            clock=self.scheduler,
+            incremental=self.engine_mode == "incr",
+        )
         # Small and sharded on purpose: the workload overflows it, so the
         # trace exercises LRU churn and negative caching, not a warm cache.
         self.cache = CachedAuthorizer(self.engine, max_entries=8, shards=4)
@@ -351,6 +371,7 @@ class SimTester:
             steps=len(trace.ops),
             chaos=trace.chaos,
             mutation=self.mutation,
+            engine=self.engine_mode,
             executed=executed,
             comparisons=self.comparisons,
             net_failures=self.net_failures,
@@ -614,8 +635,9 @@ def run_simtest(
     chaos: bool = False,
     mutation: str | None = None,
     key_store: KeyStore | None = None,
+    engine: str = "incr",
 ) -> tuple[Trace, SimReport, SimTester]:
     """Generate a trace, run it, and return (trace, report, tester)."""
     trace = generate_trace(seed=seed, steps=steps, chaos=chaos)
-    tester = SimTester(key_store=key_store, mutation=mutation)
+    tester = SimTester(key_store=key_store, mutation=mutation, engine=engine)
     return trace, tester.run(trace), tester

@@ -19,10 +19,21 @@ landmines for later lookups) and *lazy* (expiry is a clock condition and
 is re-checked per hit).
 
 **Negative caching**: denials are remembered too.  A denial can only be
-upgraded by a *new* credential, never by a revocation or by time passing,
-so a cached denial is valid exactly while the repository's publish
-version is unchanged — re-issuing a credential after a storm bumps the
-version and drops every stale denial at once.
+upgraded by a *new* credential, never by a revocation or by time passing.
+When the engine's :class:`~repro.drbac.incremental.IncrementalProofEngine`
+covers the query, a cached denial is *delta-keyed*: it survives unrelated
+publishes and is dropped precisely when a publish delta reports that its
+principal newly reached its role.  Outside that regime (attribute
+constraints, non-simple graphs, ``incremental=False`` engines) the denial
+falls back to version keying — valid exactly while the repository's
+publish version is unchanged.
+
+**Precise invalidation**: every positive entry records the credential ids
+its proof traversed, registered in a per-credential watch table backed by
+the engine's :class:`~repro.drbac.monitor.MonitorHub` — so the cache holds
+exactly *one* revocation subscription per distinct credential no matter
+how many entries share it, and a revocation (or an expiry delta) evicts
+only the dependent entries instead of sweeping the cache.
 
 This is the middle ground between the paper's two poles (per-call proof
 search vs authorize-once views); ``benchmarks/bench_sso_overhead.py``
@@ -34,7 +45,7 @@ from __future__ import annotations
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable
 
 from .. import obs
 from ..errors import AuthorizationError
@@ -66,13 +77,27 @@ class CacheStats:
 
 @dataclass(slots=True)
 class _Entry:
-    """One cached decision: a live grant or a versioned denial."""
+    """One cached decision: a live grant or a denial."""
 
     result: AuthorizationResult | None
     """``None`` marks a negative entry (the search found no proof)."""
     denial: str = ""
     repo_version: int = -1
     """Repository publish version a negative entry was computed at."""
+    delta_keyed: bool = False
+    """Negative entry invalidated by publish deltas instead of version."""
+    cred_ids: tuple[str, ...] = ()
+    """Exact credentials a positive entry's proof traversed (watch keys)."""
+
+
+class _Watch:
+    """Per-credential watch: one hub attachment, many dependent entries."""
+
+    __slots__ = ("entries", "detach")
+
+    def __init__(self) -> None:
+        self.entries: dict[tuple, tuple["_Shard", _Entry]] = {}
+        self.detach: Callable[[], None] = lambda: None
 
 
 class _Shard:
@@ -115,6 +140,9 @@ class CachedAuthorizer:
         self.stats = CacheStats()
         self._shards = [_Shard() for _ in range(self.shards)]
         self._per_shard = max_entries // self.shards
+        self._watches: dict[str, _Watch] = {}
+        if engine.incremental is not None:
+            engine.incremental.on_delta(self._on_delta)
 
     # -- keying --------------------------------------------------------------
 
@@ -178,18 +206,33 @@ class CachedAuthorizer:
         except AuthorizationError as denial:
             self._audit(subject, role, cache="miss", verdict="deny")
             if self.negative:
+                incremental = self.engine.incremental
                 self._insert(
                     shard,
                     key,
-                    _Entry(result=None, denial=str(denial), repo_version=repo_version),
+                    _Entry(
+                        result=None,
+                        denial=str(denial),
+                        repo_version=repo_version,
+                        delta_keyed=(
+                            incremental is not None
+                            and incremental.covers(required_attributes)
+                        ),
+                    ),
                 )
             raise
         self._audit(
             subject, role, cache="miss", verdict="grant",
             chain=len(result.proof.chain),
         )
-        self._insert(shard, key, _Entry(result=result))
-        self._watch(shard, key, result)
+        entry = _Entry(
+            result=result,
+            cred_ids=tuple(
+                d.credential_id for d in result.proof.all_delegations()
+            ),
+        )
+        self._insert(shard, key, entry)
+        self._watch(shard, key, entry)
         return result
 
     @staticmethod
@@ -220,8 +263,11 @@ class CachedAuthorizer:
     ) -> AuthorizationResult | None:
         """Return the cached decision if still sound, else drop it."""
         if entry.result is None:
-            # Negative entry: sound while nothing new has been published.
-            if entry.repo_version == self.engine.repository.version:
+            # Negative entry: a delta-keyed denial is evicted precisely by
+            # the publish delta that upgrades it, so it is sound until
+            # then; a version-keyed one is sound while nothing new has
+            # been published at all.
+            if entry.delta_keyed or entry.repo_version == self.engine.repository.version:
                 shard.entries.move_to_end(key)
                 self.stats.negative_hits += 1
                 obs.counter(metric_names.CACHE_NEGATIVE_HITS).inc()
@@ -272,6 +318,14 @@ class CachedAuthorizer:
         del shard.entries[key]
         if entry.result is not None:
             entry.result.close()
+        for cred_id in entry.cred_ids:
+            watch = self._watches.get(cred_id)
+            if watch is None:
+                continue
+            watch.entries.pop(key, None)
+            if not watch.entries:
+                watch.detach()
+                del self._watches[cred_id]
         if why == "evicted":
             self.stats.evicted += 1
             obs.counter(metric_names.CACHE_EVICTED).inc()
@@ -280,21 +334,71 @@ class CachedAuthorizer:
             obs.counter(metric_names.CACHE_INVALIDATED).inc()
         self._sync_gauge()
 
-    def _watch(self, shard: _Shard, key: tuple, result: AuthorizationResult) -> None:
-        """Eagerly drop the entry the moment its proof is invalidated.
+    def _watch(self, shard: _Shard, key: tuple, entry: _Entry) -> None:
+        """Register the entry under each credential its proof traversed.
 
-        Storm-safe: a revocation storm fires monitors synchronously, and
-        each affected entry removes itself immediately — the entries
-        gauge tracks reality *during* the storm, and no stale grant can
-        be observed even before its next lookup.
+        One :class:`_Watch` (and thus one hub attachment, and one
+        authority subscription) exists per distinct credential id however
+        many entries depend on it.  Storm-safe like the old per-entry
+        callbacks: a revocation fires synchronously and evicts exactly
+        the dependent entries — the entries gauge tracks reality *during*
+        the storm, and no stale grant can be observed even before its
+        next lookup.
         """
-        entry = shard.entries.get(key)
+        assert entry.result is not None
+        for delegation in entry.result.proof.all_delegations():
+            cred_id = delegation.credential_id
+            watch = self._watches.get(cred_id)
+            if watch is None:
+                watch = _Watch()
+                watch.detach = self.engine.monitor_hub.attach(
+                    delegation,
+                    self._on_credential_dead,
+                )
+                self._watches[cred_id] = watch
+            watch.entries[key] = (shard, entry)
 
-        def on_invalidated(_credential_id: str) -> None:
-            if entry is not None:
-                self._remove(shard, key, entry, why="invalidated")
+    def _on_credential_dead(self, credential_id: str) -> None:
+        """Evict every entry whose proof used the dead credential."""
+        watch = self._watches.get(credential_id)
+        if watch is None:
+            return
+        for key, (shard, entry) in list(watch.entries.items()):
+            self._remove(shard, key, entry, why="invalidated")
 
-        result.monitor.on_invalidated(on_invalidated)
+    def _on_delta(self, delta) -> None:
+        """Precise invalidation from the incremental engine's stream.
+
+        Publish deltas name exactly the (principal, role) pairs whose
+        denial just became stale; the conservative form (``principals is
+        None``, emitted when the graph leaves the simple regime) drops
+        every delta-keyed denial at once.  Expiry deltas evict dependent
+        grants eagerly — revocations already did, via the hub watch.
+        """
+        if delta.kind == "publish":
+            if delta.principals is None:
+                stale = [
+                    (shard, key, entry)
+                    for shard in self._shards
+                    for key, entry in list(shard.entries.items())
+                    if entry.result is None and entry.delta_keyed
+                ]
+                for shard, key, entry in stale:
+                    self._remove(shard, key, entry, why="invalidated")
+                return
+            for principal in delta.principals:
+                for role in delta.roles.get(principal, ()):
+                    key = (principal, role, ())
+                    shard = self._shard_for(key)
+                    entry = shard.entries.get(key)
+                    if (
+                        entry is not None
+                        and entry.result is None
+                        and entry.delta_keyed
+                    ):
+                        self._remove(shard, key, entry, why="invalidated")
+        else:
+            self._on_credential_dead(delta.credential_id)
 
     def _sync_gauge(self) -> None:
         obs.gauge(metric_names.CACHE_ENTRIES).set(len(self))
@@ -323,6 +427,9 @@ class CachedAuthorizer:
                 if entry.result is not None:
                     entry.result.close()
             shard.entries.clear()
+        for watch in self._watches.values():
+            watch.detach()
+        self._watches.clear()
         self._sync_gauge()
 
     def shard_sizes(self) -> list[int]:

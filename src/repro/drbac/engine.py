@@ -25,8 +25,9 @@ from ..crypto.keys import Identity, KeyStore, PublicIdentity
 from ..errors import AuthorizationError
 from ..obs import names as metric_names
 from .delegation import Delegation, issue
+from .incremental import IncrementalProofEngine
 from .model import Attributes, EntityRef, Role, Subject
-from .monitor import ProofMonitor, RevocationDirectory
+from .monitor import MonitorHub, ProofMonitor, RevocationDirectory
 from .proof import Proof, ProofEngine, SearchDirection
 from .query import Constraint, ConstraintEvaluator
 from .repository import DistributedRepository
@@ -62,6 +63,7 @@ class DrbacEngine:
         key_bits: int | None = None,
         clock: Clock | None = None,
         verify_signatures: bool = True,
+        incremental: bool = True,
     ) -> None:
         # `is None` check: an empty KeyStore is falsy (it has __len__),
         # so `or` would silently discard a caller-provided store.
@@ -72,6 +74,14 @@ class DrbacEngine:
         self.repository = DistributedRepository()
         self.revocations = RevocationDirectory()
         self._verify_signatures = verify_signatures
+        self.monitor_hub = MonitorHub(self.revocations)
+        self.search_work = 0
+        """Deterministic cost counter: credential edges inspected by full
+        proof searches issued through this engine (the full arm's
+        work-unit meter in ``bench-churn``)."""
+        self.incremental: IncrementalProofEngine | None = (
+            IncrementalProofEngine(self) if incremental else None
+        )
 
     # -- identity management ----------------------------------------------
 
@@ -161,12 +171,45 @@ class DrbacEngine:
             subject = self._parse_subject(subject)
         if credentials is None:
             credentials = self.repository.collect(subject, role)
-        return self.proof_engine().find_proof(
-            subject,
-            role,
-            credentials,
-            required_attributes=required_attributes,
-            direction=direction,
+        searcher = self.proof_engine()
+        try:
+            return searcher.find_proof(
+                subject,
+                role,
+                credentials,
+                required_attributes=required_attributes,
+                direction=direction,
+            )
+        finally:
+            self.search_work += searcher.edges_visited
+
+    def prove(
+        self,
+        subject: Subject | str,
+        role: Role | str,
+        *,
+        required_attributes: Attributes | None = None,
+    ) -> Optional[Proof]:
+        """Repository-backed proof query, served incrementally when safe.
+
+        The maintained reach sets answer the query while the graph stays
+        in the incremental engine's simple regime; attribute-constrained
+        queries, non-simple graphs, and engines built with
+        ``incremental=False`` all take the identical full-search path
+        (harvest + regression), which therefore remains the oracle.
+        """
+        if isinstance(role, str):
+            role = Role.parse(role)
+        if isinstance(subject, str):
+            subject = self._parse_subject(subject)
+        if self.incremental is not None:
+            handled, proof = self.incremental.try_prove(
+                subject, role, required_attributes
+            )
+            if handled:
+                return proof
+        return self.find_proof(
+            subject, role, None, required_attributes=required_attributes
         )
 
     def authorize(
@@ -178,9 +221,14 @@ class DrbacEngine:
         required_attributes: Attributes | None = None,
     ) -> AuthorizationResult:
         """Authorize or raise, establishing validity monitors on success."""
-        proof = self.find_proof(
-            subject, role, credentials, required_attributes=required_attributes
-        )
+        if credentials is None:
+            proof = self.prove(
+                subject, role, required_attributes=required_attributes
+            )
+        else:
+            proof = self.find_proof(
+                subject, role, credentials, required_attributes=required_attributes
+            )
         if proof is None:
             obs.counter(metric_names.AUTHORIZE_DENIED).inc()
             raise AuthorizationError(
@@ -192,7 +240,9 @@ class DrbacEngine:
                 )
             )
         obs.counter(metric_names.AUTHORIZE_GRANTED).inc()
-        monitor = ProofMonitor(proof.all_delegations(), self.revocations)
+        monitor = ProofMonitor(
+            proof.all_delegations(), self.revocations, hub=self.monitor_hub
+        )
         return AuthorizationResult(proof=proof, monitor=monitor)
 
     def evaluator(self) -> ConstraintEvaluator:

@@ -88,6 +88,82 @@ class RevocationDirectory:
         self.authority(delegation.home_entity).revoke(delegation.credential_id)
 
 
+class MonitorHub:
+    """Deduplicates authority subscriptions: one per credential id.
+
+    Without the hub, every :class:`ProofMonitor` (and every cached
+    authorization entry) registers its own callback at the credential's
+    home :class:`RevocationAuthority`, so a hot credential shared by
+    thousands of cached entries accumulates O(entries) callbacks there.
+    The hub holds exactly *one* authority subscription per credential and
+    fans the revocation out to however many local listeners are attached;
+    when the last listener detaches, the authority subscription is
+    dropped too.
+    """
+
+    def __init__(self, directory: RevocationDirectory) -> None:
+        self._directory = directory
+        self._channels: dict[str, _HubChannel] = {}
+
+    def attach(
+        self, delegation: Delegation, callback: RevocationCallback
+    ) -> Callable[[], None]:
+        """Listen for revocation of one credential; returns a detach.
+
+        Mirrors :meth:`RevocationAuthority.subscribe`: a late attach for
+        an already-revoked credential fires the callback immediately.
+        """
+        cred_id = delegation.credential_id
+        channel = self._channels.get(cred_id)
+        if channel is None:
+            channel = _HubChannel()
+
+            def fan_out(credential_id: str, _channel: _HubChannel = channel) -> None:
+                for listener in list(_channel.listeners.values()):
+                    listener(credential_id)
+
+            authority = self._directory.authority(delegation.home_entity)
+            channel.unsubscribe = authority.subscribe(cred_id, fan_out)
+            self._channels[cred_id] = channel
+        handle = channel.next_handle
+        channel.next_handle += 1
+        channel.listeners[handle] = callback
+        if self._directory.is_revoked(delegation):
+            # The authority-level immediate delivery hit an empty channel
+            # (or a previous attach); deliver to this listener directly.
+            callback(cred_id)
+
+        def detach() -> None:
+            current = self._channels.get(cred_id)
+            if current is not channel or handle not in channel.listeners:
+                return
+            del channel.listeners[handle]
+            if not channel.listeners:
+                channel.unsubscribe()
+                del self._channels[cred_id]
+
+        return detach
+
+    def listener_count(self, credential_id: str) -> int:
+        """Local listeners attached for one credential (introspection)."""
+        channel = self._channels.get(credential_id)
+        return len(channel.listeners) if channel is not None else 0
+
+    def watched_credential_count(self) -> int:
+        return len(self._channels)
+
+
+class _HubChannel:
+    """Fan-out state for one credential inside a :class:`MonitorHub`."""
+
+    __slots__ = ("listeners", "next_handle", "unsubscribe")
+
+    def __init__(self) -> None:
+        self.listeners: dict[int, RevocationCallback] = {}
+        self.next_handle = 0
+        self.unsubscribe: Callable[[], None] = lambda: None
+
+
 @dataclass
 class ValidityMonitor:
     """An established online monitor for a single credential."""
@@ -113,17 +189,22 @@ class ProofMonitor:
         self,
         delegations: list[Delegation],
         directory: RevocationDirectory,
+        *,
+        hub: MonitorHub | None = None,
     ) -> None:
         self._delegations = list(delegations)
         self._callbacks: list[RevocationCallback] = []
         self._invalidated_by: str | None = None
         self._monitors: list[ValidityMonitor] = []
         for delegation in self._delegations:
-            authority = directory.authority(delegation.home_entity)
             monitor = ValidityMonitor(delegation)
-            monitor._unsubscribe = authority.subscribe(
-                delegation.credential_id, self._on_revoked
-            )
+            if hub is not None:
+                monitor._unsubscribe = hub.attach(delegation, self._on_revoked)
+            else:
+                authority = directory.authority(delegation.home_entity)
+                monitor._unsubscribe = authority.subscribe(
+                    delegation.credential_id, self._on_revoked
+                )
             self._monitors.append(monitor)
 
     @property

@@ -22,6 +22,7 @@ from __future__ import annotations
 import enum
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 from .. import obs
 from ..obs import names as metric_names
@@ -92,6 +93,16 @@ class DistributedRepository:
         denial into a grant, so negative authorization caches key their
         entries to the version they were computed against and drop them
         when it moves (see :class:`~repro.drbac.cache.CachedAuthorizer`)."""
+        self._publish_listeners: list[Callable[[Delegation], None]] = []
+
+    def on_publish(self, callback: Callable[[Delegation], None]) -> None:
+        """Register a listener notified once per :meth:`publish` call.
+
+        This is the delta source the incremental proof engine and the
+        precise-invalidation cache subscribe to; listeners fire after the
+        credential is indexed, in registration order.
+        """
+        self._publish_listeners.append(callback)
 
     def shard(self, home: str) -> RepositoryShard:
         shard = self._shards.get(home)
@@ -163,6 +174,8 @@ class DistributedRepository:
             self.shard(home).index_role(delegation)
             if self.replicated:
                 self._replica(home).index_role(delegation)
+        for callback in list(self._publish_listeners):
+            callback(delegation)
 
     def publish_all(self, delegations: list[Delegation]) -> None:
         for delegation in delegations:

@@ -6,16 +6,22 @@
 ``python -m repro bench-overload`` drives :func:`run_bench_overload`:
 the same service model under 1x/3x/10x offered load, with and without
 the :mod:`repro.flow` overload-protection stack.
+``python -m repro bench-churn`` drives :func:`run_bench_churn`: one
+seeded credential-churn schedule through the full-search and
+incremental authorization engines, compared in deterministic work units.
 """
 
+from .churn import ChurnBench, run_bench_churn
 from .generator import LoadGenerator, LoadRun, classify_error, run_bench
 from .overload import OverloadBench, run_bench_overload
 
 __all__ = [
+    "ChurnBench",
     "LoadGenerator",
     "LoadRun",
     "classify_error",
     "run_bench",
     "OverloadBench",
     "run_bench_overload",
+    "run_bench_churn",
 ]

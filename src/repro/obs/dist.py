@@ -132,7 +132,11 @@ def run_trace(
         transport = Transport(network, scheduler, loss_seed=seed)
         transport.configure_batching(max_frames=4, window=0.002)
 
-        engine = DrbacEngine(key_store=key_store, clock=scheduler)
+        # Full-search engine: the demo's point is the stitched
+        # client→server→proof-search span chain, and the incremental fast
+        # path would answer the cache miss without ever opening a
+        # drbac.proof.search span.
+        engine = DrbacEngine(key_store=key_store, clock=scheduler, incremental=False)
         engine.delegate("Trace", "alice", CLIENT_ROLE)
         authorizer = CachedAuthorizer(engine, max_entries=8, shards=2)
         policy = ViewAccessPolicy("TraceKV")

@@ -41,6 +41,18 @@ CACHE_ENTRIES = "drbac.cache.entries"
 CACHE_EVICTED = "drbac.cache.evicted"
 CACHE_NEGATIVE_HITS = "drbac.cache.negative_hits"
 
+# -- Incremental proof-graph maintenance (drbac/incremental.py) --------------
+
+INCR_PUBLISHES = "drbac.incr.publishes"
+INCR_REVOCATIONS = "drbac.incr.revocations"
+INCR_EXPIRIES = "drbac.incr.expiries"
+INCR_FAST_PROOFS = "drbac.incr.fast_proofs"
+INCR_FALLBACKS = "drbac.incr.fallbacks"
+INCR_DELTA_SIZE = "drbac.incr.delta_size"
+INCR_CONE_SIZE = "drbac.incr.cone_size"
+INCR_RECOMPUTE_RATIO = "drbac.incr.recompute_ratio"
+INCR_TRACKED = "drbac.incr.tracked_principals"
+
 # -- Switchboard channel lifecycle (switchboard/channel.py, rpc.py) --------
 
 SWB_HANDSHAKES_INITIATED = "switchboard.handshakes.initiated"
@@ -181,6 +193,24 @@ CATALOGUE: tuple[MetricSpec, ...] = (
                "cache entries evicted by LRU capacity pressure"),
     MetricSpec(CACHE_NEGATIVE_HITS, "counter",
                "denials served from the negative cache"),
+    MetricSpec(INCR_PUBLISHES, "counter",
+               "usable credentials folded into the incremental graph"),
+    MetricSpec(INCR_REVOCATIONS, "counter",
+               "revocation deltas applied incrementally"),
+    MetricSpec(INCR_EXPIRIES, "counter",
+               "expiry deltas drained from the incremental heap"),
+    MetricSpec(INCR_FAST_PROOFS, "counter",
+               "queries answered from maintained reachability"),
+    MetricSpec(INCR_FALLBACKS, "counter",
+               "queries routed to the full search (attrs or non-simple graph)"),
+    MetricSpec(INCR_DELTA_SIZE, "histogram",
+               "roles newly reached per publish delta", COUNT_BUCKETS),
+    MetricSpec(INCR_CONE_SIZE, "histogram",
+               "principals recomputed per revoke/expire delta", COUNT_BUCKETS),
+    MetricSpec(INCR_RECOMPUTE_RATIO, "histogram",
+               "recomputed cone as a fraction of tracked principals"),
+    MetricSpec(INCR_TRACKED, "gauge",
+               "principals with maintained reachable sets"),
     MetricSpec(SWB_HANDSHAKES_INITIATED, "counter", "handshakes dialed"),
     MetricSpec(SWB_HANDSHAKES_ACCEPTED, "counter", "handshakes accepted (responder)"),
     MetricSpec(SWB_HANDSHAKES_REJECTED, "counter", "handshakes rejected (responder)"),

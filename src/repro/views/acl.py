@@ -109,23 +109,28 @@ class ViewAccessPolicy:
                         view_name=rule.view_name, rule=rule, proof=None
                     )
                 assert rule.role is not None
-                pool = presented
-                if pool is None:
-                    pool = engine.repository.collect(EntityRef(client), rule.role)
+                if presented is None:
+                    # Repository-backed query: ``prove`` serves it from the
+                    # incremental engine's maintained reachability when the
+                    # graph allows, falling back to harvest + full search.
+                    proof = engine.prove(
+                        EntityRef(client),
+                        rule.role,
+                        required_attributes=rule.required_attributes or None,
+                    )
                 else:
                     # Merge presented credentials with repository mappings so
                     # leaf credentials can chain through cross-domain links.
                     harvested = engine.repository.collect(EntityRef(client), rule.role)
                     merged = {c.credential_id: c for c in harvested}
-                    for cred in pool:
+                    for cred in presented:
                         merged[cred.credential_id] = cred
-                    pool = list(merged.values())
-                proof = engine.find_proof(
-                    EntityRef(client),
-                    rule.role,
-                    pool,
-                    required_attributes=rule.required_attributes or None,
-                )
+                    proof = engine.find_proof(
+                        EntityRef(client),
+                        rule.role,
+                        list(merged.values()),
+                        required_attributes=rule.required_attributes or None,
+                    )
                 if proof is not None:
                     span.set(view=rule.view_name, rule=str(rule.role))
                     self._audit(client, rule, proof=proof)

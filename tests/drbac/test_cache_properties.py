@@ -129,6 +129,7 @@ from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.check.oracles import DrbacOracle
 from repro.crypto import KeyStore
+from repro.drbac.model import subject_key
 
 _MACHINE_ROLES = ["OrgA.Reader", "OrgB.Member"]
 _MACHINE_KEYS = KeyStore(key_bits=512)
@@ -143,6 +144,7 @@ class CacheVsOracleMachine(RuleBasedStateMachine):
         self.oracle = DrbacOracle()
         self.creds = {}
         self.published = set()
+        self.revoked = set()
 
     @rule(
         subject=st.sampled_from(SUBJECTS + _MACHINE_ROLES),
@@ -183,10 +185,46 @@ class CacheVsOracleMachine(RuleBasedStateMachine):
         ref = sorted(self.creds)[pick % len(self.creds)]
         self.engine.revoke(self.creds[ref])
         self.oracle.revoke(ref)
+        self.revoked.add(ref)
 
     @rule(seconds=st.floats(min_value=0.5, max_value=25.0))
     def advance(self, seconds):
         self.clock.advance(seconds)
+
+    @rule()
+    def expire(self):
+        """Step the clock just past the *earliest* pending expiry — a
+        targeted expiry event, not merely random time passing."""
+        pending = [
+            cred.expires_at
+            for cred in self.creds.values()
+            if cred.expires_at is not None and cred.expires_at > self.clock.now()
+        ]
+        if not pending:
+            return
+        self.clock.advance(min(pending) - self.clock.now() + 0.25)
+
+    @rule(pick=st.integers(min_value=0, max_value=63))
+    def republish(self, pick):
+        """Re-grant a dead (revoked or expired) edge with a *fresh*
+        credential: the deny -> grant transition that delta-keyed
+        negative entries must honor."""
+        now = self.clock.now()
+        dead = sorted(
+            ref
+            for ref, cred in self.creds.items()
+            if ref in self.revoked or cred.is_expired(now)
+        )
+        if not dead:
+            return
+        old = self.creds[dead[pick % len(dead)]]
+        ref = f"m{len(self.creds)}"
+        cred = self.engine.delegate(
+            str(old.role).split(".")[0], subject_key(old.subject), str(old.role)
+        )
+        self.creds[ref] = cred
+        self.published.add(ref)
+        self.oracle.delegate(ref, subject_key(old.subject), str(old.role))
 
     @rule(
         subject=st.sampled_from(SUBJECTS + ["mallory"]),
@@ -203,6 +241,25 @@ class CacheVsOracleMachine(RuleBasedStateMachine):
     @invariant()
     def capacity(self):
         assert len(self.cache) <= 4
+
+    @invariant()
+    def watch_table_is_precise(self):
+        """The per-credential dependents index never retains ids for
+        evicted entries, and never drops ids for live ones: watches and
+        shard contents mirror each other exactly, in both directions."""
+        for cred_id, watch in self.cache._watches.items():
+            assert watch.entries, f"empty watch retained for {cred_id}"
+            for key, (shard, entry) in watch.entries.items():
+                assert shard.entries.get(key) is entry, (
+                    f"watch on {cred_id} references an evicted entry {key}"
+                )
+                assert cred_id in entry.cred_ids
+        for shard in self.cache._shards:
+            for key, entry in shard.entries.items():
+                for cred_id in entry.cred_ids:
+                    watch = self.cache._watches.get(cred_id)
+                    assert watch is not None, f"live entry {key} unwatched"
+                    assert watch.entries.get(key, (None, None))[1] is entry
 
     def teardown(self):
         self.cache.clear()
