@@ -48,6 +48,17 @@ headline authorize-after-revoke throughput ratio.  Verdict transcripts
 must match across arms and agree with the reference oracle, or the exit
 status is non-zero.  Same seed, byte-identical JSON.
 
+``python -m repro bench-recovery --seed N [--ops K] [--crashes C]
+[--json]`` replays one seeded schedule with embedded crash/restart
+cycles through two arms sharing one update feed (:mod:`repro.load.recovery`):
+a :class:`~repro.durable.node.DurableNode` that is repeatedly crashed —
+WAL tail torn, revocations landing while it is down — and a control
+node that never crashes.  After every recovery a full (subject, role)
+verdict battery must match across arms, agree with the reference
+oracle, and leave identical durable-state digests, or the exit status
+is non-zero.  Recovery cost is reported in deterministic work units;
+same seed, byte-identical JSON.
+
 ``python -m repro simtest --seed N [--steps S] [--chaos] [--json]`` runs
 the model-based simulation checker (:mod:`repro.check`): a seeded
 interleaved workload of delegations, revocations, view accesses, and
@@ -500,6 +511,105 @@ def run_bench_churn(argv: list[str] | None = None) -> int:
     return 0 if report["transcripts_match"] and report["oracle_agrees"] else 1
 
 
+def run_bench_recovery(argv: list[str] | None = None) -> int:
+    """The ``repro bench-recovery`` subcommand.
+
+    Replays one seeded crash/restart schedule through the crashy and
+    control arms (:mod:`repro.load.recovery`) and prints the recovery
+    cost plus the gate verdicts.  ``--mutate skip-catchup`` breaks the
+    delta catch-up on purpose to demonstrate detection.  Identical
+    seeds produce byte-identical ``--json`` output; exit status is
+    non-zero when any gate fails.
+    """
+    from .load import run_bench_recovery as run_recovery
+
+    argv = list(argv or [])
+    usage = (
+        "usage: python -m repro bench-recovery [--seed N] [--ops K]"
+        " [--crashes C] [--mutate NAME] [--json] [--out PATH]"
+    )
+    seed, ops, crashes = 7, 360, 4
+    mutation: str | None = None
+    as_json = False
+    out_path: str | None = None
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "--json":
+            as_json = True
+            index += 1
+            continue
+        if arg in ("--seed", "--ops", "--crashes", "--mutate", "--out"):
+            if index + 1 >= len(argv):
+                print(f"repro bench-recovery: {arg} needs a value", file=sys.stderr)
+                print(usage, file=sys.stderr)
+                return 2
+            value = argv[index + 1]
+            try:
+                if arg == "--seed":
+                    seed = int(value)
+                elif arg == "--ops":
+                    ops = int(value)
+                elif arg == "--crashes":
+                    crashes = int(value)
+                elif arg == "--mutate":
+                    mutation = value
+                else:
+                    out_path = value
+            except ValueError:
+                print(
+                    f"repro bench-recovery: bad value for {arg}: {value!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            index += 2
+            continue
+        print(f"repro bench-recovery: unknown argument {arg!r}", file=sys.stderr)
+        print(usage, file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    try:
+        report = run_recovery(seed=seed, ops=ops, crashes=crashes, mutation=mutation)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(
+            f"repro bench-recovery: run failed: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    elapsed = time.perf_counter() - started
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    if as_json:
+        print(rendered)
+    else:
+        mix, rec, verdicts = report["mix"], report["recovery"], report["verdicts"]
+        print(
+            f"bench-recovery seed={seed} ops={ops} crashes={crashes} "
+            f"(delegate {mix['delegate']}, revoke {mix['revoke']}, "
+            f"authorize {mix['authorize']}, advance {mix['advance']}) "
+            f"wall {elapsed:.2f}s"
+        )
+        for n, r in enumerate(report["recoveries"]):
+            print(
+                f"  restart {n}: replayed {r['wal_records_replayed']:>3} wal "
+                f"records (snapshot {r['snapshot_creds']} creds, "
+                f"{r['torn_bytes']} torn bytes), caught up "
+                f"{r['catchup_updates']} updates, cache kept "
+                f"{r['cache_kept']}/evicted {r['cache_evicted']} = "
+                f"{r['work_units']} work units"
+            )
+        print(
+            f"  verdicts: {verdicts['checked']} checked, "
+            f"{verdicts['grants']} grants, {verdicts['denials']} denials  "
+            f"total recovery work {rec['work_units']}"
+        )
+        for gate in ("verdicts_match", "oracle_agrees", "digests_match"):
+            print(f"  [{'PASS' if report[gate] else 'FAIL'}] {gate}")
+    return 0 if report["ok"] else 1
+
+
 def run_bench_overload(argv: list[str] | None = None) -> int:
     """The ``repro bench-overload`` subcommand.
 
@@ -770,6 +880,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_bench_overload(argv[1:])
     if argv and argv[0] == "bench-churn":
         return run_bench_churn(argv[1:])
+    if argv and argv[0] == "bench-recovery":
+        return run_bench_recovery(argv[1:])
     if argv and argv[0] == "simtest":
         return run_simtest(argv[1:])
     if argv and argv[0] == "trace":
@@ -785,6 +897,7 @@ def main(argv: list[str] | None = None) -> int:
             " | bench-load [--seed N] [--clients C] [--json]"
             " | bench-overload [--seed N] [--clients C] [--json]"
             " | bench-churn [--seed N] [--ops K] [--json]"
+            " | bench-recovery [--seed N] [--ops K] [--crashes C] [--json]"
             " | simtest [--seed N] [--steps S] [--chaos] [--engine incr|full]"
             " [--json]"
             " | trace [--seed N] [--chaos] [--out F]",

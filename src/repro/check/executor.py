@@ -25,6 +25,18 @@ issue time), so the authorization expectation for RPC ops accepts the
 oracle's verdict at *either* endpoint of the call.  Delegations and
 revocations cannot race this way — operations are serialized — so only
 the expiry boundary is relaxed.
+
+Crash/recovery boundaries: the server's engine+cache live inside a
+:class:`~repro.durable.node.DurableNode` fed by an
+:class:`~repro.durable.node.UpdateFeed` (the crash-immune credential
+authority every delegate/publish/revoke routes through).  Chaos traces
+include ``NODE_CRASH_RESTART`` faults with seeded torn tails; while the
+node is down, server-side observables report ``down`` with no oracle
+comparison (a dead node serves nothing), and after the heal's WAL replay
++ delta catch-up the comparisons resume — the oracle, which never
+crashes, must still agree with every post-recovery verdict.  Mutations
+are routed by name: durable-layer mutations (``skip-catchup``) break the
+node's recovery protocol, every other mutation breaks the oracle.
 """
 
 from __future__ import annotations
@@ -38,6 +50,8 @@ from .. import obs
 from ..crypto import KeyStore
 from ..drbac import DrbacEngine
 from ..drbac.cache import CachedAuthorizer
+from ..durable import MUTATIONS as DURABLE_MUTATIONS
+from ..durable import DurableNode, UpdateFeed
 from ..errors import AuthorizationError
 from ..faults.injector import FaultInjector
 from ..faults.retry import RetryPolicy
@@ -264,6 +278,11 @@ class SimTester:
             )
         self.key_store = key_store or KeyStore(key_bits=512)
         self.mutation = mutation
+        # Durable-layer mutations break the node's recovery protocol;
+        # everything else is handed to the DrbacOracle (which validates
+        # the name and raises on unknowns).
+        self.durable_mutation = mutation if mutation in DURABLE_MUTATIONS else None
+        self.oracle_mutation = None if self.durable_mutation else mutation
         self.engine_mode = engine
 
     # -- entry point --------------------------------------------------------
@@ -294,6 +313,20 @@ class SimTester:
         # trace exercises LRU churn and negative caching, not a warm cache.
         self.cache = CachedAuthorizer(self.engine, max_entries=8, shards=4)
 
+        # The server node is durable: every credential update flows
+        # through the feed (the crash-immune authority), gets WAL-logged
+        # on the node, and survives NODE_CRASH_RESTART faults via replay
+        # + catch-up.  compact_every is small so tier-1 traces exercise
+        # snapshot installation, not just log replay.
+        self.feed = UpdateFeed()
+        self.node = DurableNode(
+            engine=self.engine,
+            cache=self.cache,
+            feed=self.feed,
+            compact_every=16,
+            mutation=self.durable_mutation,
+        )
+
         self.store = GuardedKV(self.cache)
         server_rpc = PlainRpcEndpoint(self.transport, "server")
         server_rpc.exporter.export("GuardedKV", self.store)
@@ -314,11 +347,15 @@ class SimTester:
             self.views[view_name] = vig.generate(spec, ViewKV)(runtime)
 
         if trace.chaos and trace.faults:
-            injector = FaultInjector(self.scheduler, EnvironmentMonitor(network))
+            injector = FaultInjector(
+                self.scheduler,
+                EnvironmentMonitor(network),
+                durable_nodes={"server": self.node},
+            )
             injector.arm(trace.fault_plan())
 
         # Oracles.
-        self.drbac_model = DrbacOracle(mutation=self.mutation)
+        self.drbac_model = DrbacOracle(mutation=self.oracle_mutation)
         self.acl_model = ViewAclOracle(
             self.drbac_model, list(VIEW_RULES), default=VIEW_DEFAULT
         )
@@ -402,13 +439,16 @@ class SimTester:
     def _op_delegate(self, index: int, op: Op, chaos: bool):
         a = op.args
         expires = None if a["ttl"] is None else self.scheduler.now() + a["ttl"]
+        # Sign locally, publish through the feed: the authority assigns
+        # the sequence number a recovering node catches up against.
         cred = self.engine.delegate(
             a["issuer"], a["subject"], a["role"],
-            expires_at=expires, publish=a["publish"],
+            expires_at=expires, publish=False,
         )
         self.creds[a["ref"]] = cred
         if a["publish"]:
             self.published.add(a["ref"])
+            self.feed.publish(cred)
         self.drbac_model.delegate(
             a["ref"], a["subject"], a["role"],
             expires_at=expires, published=a["publish"],
@@ -421,7 +461,7 @@ class SimTester:
         if cred is None or ref in self.published:
             return "noop", None
         self.published.add(ref)
-        self.engine.repository.publish(cred)
+        self.feed.publish(cred)
         self.drbac_model.publish(ref)
         return "published", None
 
@@ -430,7 +470,7 @@ class SimTester:
         cred = self.creds.get(ref)
         if cred is None:
             return "noop", None
-        self.engine.revoke(cred)
+        self.feed.revoke(cred)
         self.drbac_model.revoke(ref)
         return "revoked", None
 
@@ -441,6 +481,8 @@ class SimTester:
     # -- checked observables ------------------------------------------------
 
     def _op_authorize(self, index: int, op: Op, chaos: bool):
+        if not self.node.up:
+            return "down", None  # a crashed node serves no verdicts
         subject, role = op.args["subject"], op.args["role"]
         now = self.scheduler.now()
         try:
@@ -461,6 +503,8 @@ class SimTester:
         return observed, diverged
 
     def _op_view_resolve(self, index: int, op: Op, chaos: bool):
+        if not self.node.up:
+            return "down", None
         client = op.args["client"]
         decision = self.policy.resolve(client, self.engine)
         observed = "none" if decision is None else decision.view_name
@@ -473,6 +517,8 @@ class SimTester:
         return None if decision is None else decision.view_name
 
     def _op_view_read(self, index: int, op: Op, chaos: bool):
+        if not self.node.up:
+            return "down", None
         client, key = op.args["client"], op.args["key"]
         view_name = self._resolve_view(client)
         model_view = self.acl_model.resolve(client, self.scheduler.now())
@@ -492,6 +538,8 @@ class SimTester:
         return observed, self._compare(index, op, "view-read", expected, observed)
 
     def _op_view_write(self, index: int, op: Op, chaos: bool):
+        if not self.node.up:
+            return "down", None
         client, key, value = op.args["client"], op.args["key"], op.args["value"]
         view_name = self._resolve_view(client)
         model_view = self.acl_model.resolve(client, self.scheduler.now())

@@ -53,6 +53,7 @@ from ..obs import names as metric_names
 from .delegation import Delegation
 from .engine import AuthorizationResult, DrbacEngine
 from .model import Attributes, Role, Subject
+from .monitor import ProofMonitor
 
 
 @dataclass(slots=True)
@@ -402,6 +403,54 @@ class CachedAuthorizer:
 
     def _sync_gauge(self) -> None:
         obs.gauge(metric_names.CACHE_ENTRIES).set(len(self))
+
+    # -- crash recovery --------------------------------------------------------
+
+    def recover(self, *, published: frozenset[str]) -> tuple[int, int]:
+        """Scrub the cache against recovered durable state.
+
+        Called by :class:`~repro.durable.node.DurableNode` *after* the
+        engine's hub/directory/repository/incremental state has been
+        rebuilt.  The rule is conservative: keep a positive entry only if
+        every credential its proof traversed is provable from durable
+        state — present in ``published``, unrevoked, and unexpired — and
+        drop **every** negative entry (a publish that landed while the
+        node was down may have upgraded any denial, and the pre-crash
+        delta stream that kept delta-keyed denials sound is gone).
+
+        Surviving entries get fresh :class:`ProofMonitor`s and watch-table
+        rows: their pre-crash subscriptions died with the hub, so without
+        re-watching, a post-recovery revocation would never evict them.
+        Returns ``(evicted, kept)``.
+        """
+        for watch in self._watches.values():
+            watch.detach()  # no-op for pre-crash hub channels; exact otherwise
+        self._watches.clear()
+        engine = self.engine
+        now = engine.clock.now()
+        evicted = kept = 0
+        for shard in self._shards:
+            for key, entry in list(shard.entries.items()):
+                provable = entry.result is not None and all(
+                    d.credential_id in published
+                    and not engine.revocations.is_revoked(d)
+                    and not d.is_expired(now)
+                    for d in entry.result.proof.all_delegations()
+                )
+                if not provable:
+                    self._remove(shard, key, entry, why="invalidated")
+                    evicted += 1
+                    continue
+                entry.result.monitor.close()
+                entry.result.monitor = ProofMonitor(
+                    entry.result.proof.all_delegations(),
+                    engine.revocations,
+                    hub=engine.monitor_hub,
+                )
+                self._watch(shard, key, entry)
+                kept += 1
+        self._sync_gauge()
+        return evicted, kept
 
     # -- conveniences ---------------------------------------------------------
 

@@ -186,6 +186,29 @@ class IncrementalProofEngine:
         chain = [self._all_creds[cid] for cid in path]
         return True, Proof(subject=subject, role=role, chain=chain)
 
+    def reset(self) -> None:
+        """Drop every index and reach set (crash recovery).
+
+        The durable layer republishes the recovered credential set
+        afterwards, which rebuilds the adjacency, expiry heap, hub
+        subscriptions, reachability, and dependents index from scratch —
+        including re-entering the simple regime, which is decided by the
+        *recovered* graph rather than remembered from the dead one.
+        Delta listeners stay registered; ``work`` keeps accumulating so
+        recovery cost shows up in the same meter as steady-state cost.
+        """
+        for detach in list(self._detach.values()):
+            detach()
+        self._detach.clear()
+        self._creds.clear()
+        self._all_creds.clear()
+        self._out.clear()
+        self._expiry.clear()
+        self._reach.clear()
+        self._dependents.clear()
+        self._simple = True
+        obs.gauge(metric_names.INCR_TRACKED).set(0)
+
     def refresh(self) -> None:
         """Drain credentials whose expiry instant has passed.
 

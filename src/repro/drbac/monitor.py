@@ -87,6 +87,16 @@ class RevocationDirectory:
     def revoke(self, delegation: Delegation) -> None:
         self.authority(delegation.home_entity).revoke(delegation.credential_id)
 
+    def reset(self) -> None:
+        """Forget every authority (crash recovery).
+
+        Revocation sets are volatile node state in this model; the
+        durable layer replays them from its log.  Subscriptions held by
+        pre-crash monitors point at the discarded authorities and can
+        never fire again — their unsubscribe closures become no-ops.
+        """
+        self._authorities.clear()
+
 
 class MonitorHub:
     """Deduplicates authority subscriptions: one per credential id.
@@ -143,6 +153,19 @@ class MonitorHub:
                 del self._channels[cred_id]
 
         return detach
+
+    def reset(self) -> None:
+        """Sever every channel (crash recovery).
+
+        Channels are removed from the table *first*, so the stale detach
+        closures held by pre-crash monitors see ``current is not channel``
+        and return without touching post-recovery subscriptions.
+        """
+        channels = list(self._channels.values())
+        self._channels.clear()
+        for channel in channels:
+            channel.unsubscribe()
+            channel.listeners.clear()
 
     def listener_count(self, credential_id: str) -> int:
         """Local listeners attached for one credential (introspection)."""

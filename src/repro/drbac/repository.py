@@ -144,6 +144,41 @@ class DistributedRepository:
     def restore_shard(self, home: str) -> None:
         self._down.discard(home)
 
+    def recover_shard(self, home: str) -> None:
+        """Bring a failed shard back by *rebuilding* it, not resurrecting it.
+
+        The honest heal for a crash-stop: the primary's in-memory index
+        died with the node, so its content is reconstructed from the warm
+        replica (bucket order preserved — replicas mirror publish order).
+        Without replication the rebuilt shard is empty, which is real
+        data loss: proofs relying on that home's credentials stay
+        undiscoverable until they are republished.
+        """
+        self._down.discard(home)
+        rebuilt = RepositoryShard(home)
+        replica = self._replicas.get(home) if self.replicated else None
+        if replica is not None:
+            for key, bucket in replica.by_subject.items():
+                rebuilt.by_subject[key].extend(bucket)
+            for key, bucket in replica.by_role.items():
+                rebuilt.by_role[key].extend(bucket)
+        self._shards[home] = rebuilt
+        obs.counter(metric_names.RECOVER_SHARD_REBUILDS).inc()
+
+    def reset_state(self) -> None:
+        """Drop every shard and replica (node-wide crash recovery).
+
+        Used by :class:`~repro.durable.node.DurableNode` before replaying
+        durable history: listeners stay registered and ``version`` stays
+        monotonic (a recovered node must never hand out version numbers
+        that alias pre-crash ones, or version-keyed negative cache
+        entries could survive wrongly), but all indexed content is gone
+        until republished.
+        """
+        self._shards.clear()
+        self._replicas.clear()
+        self._down.clear()
+
     def shard_is_down(self, home: str) -> bool:
         return home in self._down
 

@@ -1,0 +1,55 @@
+"""The in-memory "disk": named byte areas that survive node crashes.
+
+A :class:`SimDisk` is the durability boundary of the simulated world.
+Everything a node keeps in ordinary Python objects dies with
+:meth:`~repro.durable.node.DurableNode.crash`; bytes written here live
+on.  The only fault the disk models is the one real append-only logs
+suffer: a **torn tail**, where the last write was in flight when the
+node died and an arbitrary suffix of the area is missing.  Torn tails
+are injected deliberately (seeded, via fault plans), never drawn from
+ambient randomness, so recovery runs are replayable byte for byte.
+"""
+
+from __future__ import annotations
+
+
+class SimDisk:
+    """Named append-only byte areas with whole-area replace and truncation.
+
+    ``append`` models the WAL write path; ``replace`` models an atomic
+    rename (the snapshot path: write to a temp file, fsync, rename —
+    collapsed here to one step because the simulation injects torn tails
+    only into append streams, matching the classic recovery literature
+    where snapshot installation is made atomic and the log tail is not).
+    """
+
+    def __init__(self) -> None:
+        self._areas: dict[str, bytearray] = {}
+
+    def read(self, area: str) -> bytes:
+        return bytes(self._areas.get(area, b""))
+
+    def size(self, area: str) -> int:
+        return len(self._areas.get(area, b""))
+
+    def append(self, area: str, data: bytes) -> None:
+        self._areas.setdefault(area, bytearray()).extend(data)
+
+    def replace(self, area: str, data: bytes) -> None:
+        """Atomically replace the whole area (snapshot installation)."""
+        self._areas[area] = bytearray(data)
+
+    def truncate_tail(self, area: str, nbytes: int) -> int:
+        """Drop up to ``nbytes`` from the end of ``area`` (torn write).
+
+        Returns the number of bytes actually removed (clamped to the
+        area's size), so callers can report the injected damage honestly.
+        """
+        if nbytes < 0:
+            raise ValueError(f"cannot truncate a negative tail: {nbytes}")
+        buf = self._areas.get(area)
+        if buf is None or nbytes == 0:
+            return 0
+        dropped = min(nbytes, len(buf))
+        del buf[len(buf) - dropped:]
+        return dropped

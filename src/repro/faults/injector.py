@@ -25,6 +25,7 @@ _INJECTED_COUNTERS = {
     FaultKind.LINK_DOWN: metric_names.FAULTS_INJECTED_LINK,
     FaultKind.PARTITION: metric_names.FAULTS_INJECTED_PARTITION,
     FaultKind.NODE_CRASH: metric_names.FAULTS_INJECTED_NODE,
+    FaultKind.NODE_CRASH_RESTART: metric_names.FAULTS_INJECTED_RESTART,
     FaultKind.LATENCY_SPIKE: metric_names.FAULTS_INJECTED_LATENCY,
     FaultKind.LOSS_BURST: metric_names.FAULTS_INJECTED_LOSS,
     FaultKind.REVOKE_STORM: metric_names.FAULTS_INJECTED_REVOCATION,
@@ -40,7 +41,18 @@ class FaultInjector:
     credential ids named in event params to live
     :class:`~repro.drbac.delegation.Delegation` objects.  ``shard_map``
     optionally maps node names to repository shard homes hosted there, so
-    a node crash also fails (and a restart restores) those shards.
+    a node crash also fails (and a restart recovers) those shards.
+
+    Healing a ``NODE_CRASH`` *rebuilds* the failed shards from their warm
+    replicas (:meth:`~repro.drbac.repository.DistributedRepository.recover_shard`)
+    — empty if unreplicated, which is honest data loss.  ``lossless=True``
+    restores the legacy magical heal, where the primary's in-memory index
+    is assumed to have survived the crash intact; it exists only for old
+    tests and scenarios that model fail-stop *pauses* rather than
+    crashes.  ``NODE_CRASH_RESTART`` needs the crashing node registered
+    in ``durable_nodes`` (name → :class:`~repro.durable.node.DurableNode`):
+    injection drops its volatile state, healing runs real WAL recovery —
+    minus an optional ``torn_tail`` of bytes — and then delta catch-up.
     """
 
     def __init__(
@@ -52,6 +64,8 @@ class FaultInjector:
         repository=None,
         credentials: dict[str, object] | None = None,
         shard_map: dict[str, list[str]] | None = None,
+        durable_nodes: dict[str, object] | None = None,
+        lossless: bool = False,
     ) -> None:
         self.scheduler = scheduler
         self.monitor = monitor
@@ -59,6 +73,8 @@ class FaultInjector:
         self.repository = repository
         self.credentials = dict(credentials or {})
         self.shard_map = {k: list(v) for k, v in (shard_map or {}).items()}
+        self.durable_nodes = dict(durable_nodes or {})
+        self.lossless = lossless
         self.log: list[dict] = []
         """Chronological record of (virtual time, event, phase) as dicts."""
         self._listeners: list[InjectorListener] = []
@@ -96,6 +112,16 @@ class FaultInjector:
             if not node:
                 raise FaultError("node_crash event needs a 'node' param")
             self.monitor.network.node(node)
+        elif kind is FaultKind.NODE_CRASH_RESTART:
+            node = params.get("node")
+            if not node:
+                raise FaultError("node_crash_restart event needs a 'node' param")
+            self.monitor.network.node(node)
+            if node not in self.durable_nodes:
+                raise FaultError(
+                    f"node_crash_restart targets {node!r} but no DurableNode "
+                    "is registered for it (pass durable_nodes=...)"
+                )
         elif kind is FaultKind.REVOKE_STORM:
             ids = params.get("credentials", [])
             if not ids:
@@ -119,6 +145,8 @@ class FaultInjector:
             heal = self._partition(params["domain"])
         elif kind is FaultKind.NODE_CRASH:
             heal = self._crash(params["node"])
+        elif kind is FaultKind.NODE_CRASH_RESTART:
+            heal = self._crash_restart(params["node"], params)
         elif kind is FaultKind.LATENCY_SPIKE:
             a, b = params["a"], params["b"]
             link = self.monitor.network.link(a, b)
@@ -170,7 +198,32 @@ class FaultInjector:
         def heal() -> None:
             if self.repository is not None:
                 for home in homes:
-                    self.repository.restore_shard(home)
+                    if self.lossless:
+                        # Legacy mode: pretend the primary's in-memory
+                        # index survived the crash (a pause, not a crash).
+                        self.repository.restore_shard(home)
+                    else:
+                        self.repository.recover_shard(home)
+            self.monitor.set_node_up(node, True)
+
+        return heal
+
+    def _crash_restart(self, node: str, params: dict) -> Callable[[], None]:
+        """Real crash: volatile state dies now, recovery runs at heal."""
+        self.monitor.set_node_up(node, False)
+        dnode = self.durable_nodes[node]
+        dnode.crash()
+        homes = self.shard_map.get(node, [])
+        if self.repository is not None:
+            for home in homes:
+                self.repository.fail_shard(home)
+        torn = int(params.get("torn_tail", 0))
+
+        def heal() -> None:
+            # Recovery itself clears any shard down-markers by rebuilding
+            # the repository from durable state; restart before marking
+            # the node routable so no query sees a half-recovered node.
+            dnode.restart(torn_tail_bytes=torn)
             self.monitor.set_node_up(node, True)
 
         return heal

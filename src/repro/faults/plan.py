@@ -9,14 +9,18 @@ tests, serialized into a chaos report, and replayed exactly.
 Fault classes mirror the hostile environment of the paper's §2.2
 deployment story:
 
-================  ======================================================
-``LINK_DOWN``     a WAN/LAN link fails for ``duration`` seconds
-``PARTITION``     a whole domain loses every inter-domain link
-``NODE_CRASH``    a host crash-stops, then restarts after ``duration``
-``LATENCY_SPIKE`` a link's latency is multiplied for ``duration``
-``LOSS_BURST``    a link drops frames with probability ``rate``
-``REVOKE_STORM``  a batch of live credentials is revoked at once
-================  ======================================================
+======================  ================================================
+``LINK_DOWN``           a WAN/LAN link fails for ``duration`` seconds
+``PARTITION``           a whole domain loses every inter-domain link
+``NODE_CRASH``          a host crash-stops, then restarts after
+                        ``duration``
+``NODE_CRASH_RESTART``  a host crash-stops *losing its volatile state*;
+                        on heal it runs real WAL recovery (optionally
+                        with a ``torn_tail`` of bytes ripped off the log)
+``LATENCY_SPIKE``       a link's latency is multiplied for ``duration``
+``LOSS_BURST``          a link drops frames with probability ``rate``
+``REVOKE_STORM``        a batch of live credentials is revoked at once
+======================  ================================================
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ class FaultKind(enum.Enum):
     LINK_DOWN = "link_down"
     PARTITION = "partition"
     NODE_CRASH = "node_crash"
+    NODE_CRASH_RESTART = "node_crash_restart"
     LATENCY_SPIKE = "latency_spike"
     LOSS_BURST = "loss_burst"
     REVOKE_STORM = "revoke_storm"
@@ -46,6 +51,7 @@ _FAULT_CLASS = {
     FaultKind.LINK_DOWN: "link",
     FaultKind.PARTITION: "partition",
     FaultKind.NODE_CRASH: "node",
+    FaultKind.NODE_CRASH_RESTART: "node",
     FaultKind.LATENCY_SPIKE: "latency",
     FaultKind.LOSS_BURST: "loss",
     FaultKind.REVOKE_STORM: "revocation",
@@ -66,6 +72,8 @@ class FaultEvent:
       plus ``factor`` (latency) or ``rate`` (loss)
     * PARTITION — ``domain``
     * NODE_CRASH — ``node``
+    * NODE_CRASH_RESTART — ``node``, plus optional ``torn_tail`` (bytes
+      ripped off the WAL tail before recovery replays it)
     * REVOKE_STORM — ``credentials`` (list of credential ids)
     """
 

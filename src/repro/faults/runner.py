@@ -9,6 +9,16 @@ The run ends with an invariant sweep (no hanging calls, sessions on live
 hosts, view/image coherence) and produces a :class:`ChaosReport` whose
 JSON is byte-identical for identical seeds.
 
+Crash semantics — this harness enables repository replication up front,
+so the injector's honest ``NODE_CRASH`` heal (rebuild the failed shard
+from its warm replica, see
+:meth:`~repro.drbac.repository.DistributedRepository.recover_shard`)
+restores exactly the content the legacy lossless heal pretended had
+survived; the crash probes therefore verify failover *and* rebuild.
+Full WAL-backed crash-restart (``NODE_CRASH_RESTART``) is exercised by
+the simulation tester and ``bench-recovery``, which own
+:class:`~repro.durable.node.DurableNode` worlds.
+
 Determinism notes — the chaos world deliberately avoids Switchboard
 channels: their Diffie–Hellman handshakes draw from ``secrets`` and
 cannot be seeded, so the two managed sessions here use only ``local``

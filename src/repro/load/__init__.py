@@ -9,11 +9,16 @@ the :mod:`repro.flow` overload-protection stack.
 ``python -m repro bench-churn`` drives :func:`run_bench_churn`: one
 seeded credential-churn schedule through the full-search and
 incremental authorization engines, compared in deterministic work units.
+``python -m repro bench-recovery`` drives :func:`run_bench_recovery`:
+one seeded schedule with embedded crash/restart cycles through a
+crashing :class:`~repro.durable.node.DurableNode` arm and a
+never-crashed control arm, oracle-checked after every recovery.
 """
 
 from .churn import ChurnBench, run_bench_churn
 from .generator import LoadGenerator, LoadRun, classify_error, run_bench
 from .overload import OverloadBench, run_bench_overload
+from .recovery import RecoveryBench, run_bench_recovery
 
 __all__ = [
     "ChurnBench",
@@ -24,4 +29,6 @@ __all__ = [
     "OverloadBench",
     "run_bench_overload",
     "run_bench_churn",
+    "RecoveryBench",
+    "run_bench_recovery",
 ]

@@ -141,6 +141,23 @@ FAULTS_RECOVERED_LATENCY = "faults.recovered.latency"
 FAULTS_RECOVERED_LOSS = "faults.recovered.loss"
 FAULTS_RECOVERED_REVOCATION = "faults.recovered.revocation"
 FAULTS_RECOVERY_LATENCY = "faults.recovery.latency"
+FAULTS_INJECTED_RESTART = "faults.injected.node_restart"
+
+# -- Durability & crash recovery (durable/*.py, drbac/repository.py) --------
+
+DURABLE_WAL_APPENDS = "durable.wal.appends"
+DURABLE_WAL_BYTES = "durable.wal.bytes"
+DURABLE_WAL_RECORDS = "durable.wal.records"
+DURABLE_SNAPSHOTS = "durable.snapshots"
+DURABLE_TORN_TAILS = "durable.torn_tails"
+DURABLE_TORN_BYTES = "durable.torn_tail.bytes_dropped"
+RECOVER_RESTARTS = "recover.restarts"
+RECOVER_REPLAYED = "recover.wal.records_replayed"
+RECOVER_CATCHUP = "recover.catchup.updates"
+RECOVER_CACHE_EVICTED = "recover.cache.evicted"
+RECOVER_CACHE_KEPT = "recover.cache.kept"
+RECOVER_WORK = "recover.work_units"
+RECOVER_SHARD_REBUILDS = "recover.shard_rebuilds"
 
 # -- Observability self-monitoring (obs/trace.py) ---------------------------
 
@@ -305,6 +322,31 @@ CATALOGUE: tuple[MetricSpec, ...] = (
                "revocation storms recovered by re-issuance"),
     MetricSpec(FAULTS_RECOVERY_LATENCY, "histogram",
                "virtual seconds from fault injection to verified recovery"),
+    MetricSpec(FAULTS_INJECTED_RESTART, "counter",
+               "crash-restart faults injected (volatile state dropped)"),
+    MetricSpec(DURABLE_WAL_APPENDS, "counter", "WAL records appended"),
+    MetricSpec(DURABLE_WAL_BYTES, "counter", "framed WAL bytes written"),
+    MetricSpec(DURABLE_WAL_RECORDS, "gauge",
+               "WAL records accumulated since the last snapshot"),
+    MetricSpec(DURABLE_SNAPSHOTS, "counter",
+               "snapshots installed by WAL compaction"),
+    MetricSpec(DURABLE_TORN_TAILS, "counter",
+               "recoveries that found a torn WAL tail"),
+    MetricSpec(DURABLE_TORN_BYTES, "counter",
+               "unusable torn-tail bytes discarded at recovery"),
+    MetricSpec(RECOVER_RESTARTS, "counter", "node recovery passes completed"),
+    MetricSpec(RECOVER_REPLAYED, "counter",
+               "WAL records replayed during recovery"),
+    MetricSpec(RECOVER_CATCHUP, "counter",
+               "missed updates pulled from a live replica at recovery"),
+    MetricSpec(RECOVER_CACHE_EVICTED, "counter",
+               "cache entries evicted as unprovable from durable state"),
+    MetricSpec(RECOVER_CACHE_KEPT, "counter",
+               "cache entries revalidated and re-watched after recovery"),
+    MetricSpec(RECOVER_WORK, "histogram",
+               "deterministic work units per recovery pass", COUNT_BUCKETS),
+    MetricSpec(RECOVER_SHARD_REBUILDS, "counter",
+               "repository shards rebuilt from replicas after data loss"),
     MetricSpec(TRACE_DROPPED, "counter",
                "finished root spans evicted by the tracer retention bound"),
     MetricSpec(FLOW_ADMITTED, "counter",

@@ -107,6 +107,45 @@ class TestMetricCatalogue:
         }
         assert not mismatched, f"flow metric kind conflicts: {mismatched}"
 
+    def test_durable_metrics_are_catalogued_with_matching_kinds(self):
+        """Drive the durable layer — WAL appends, compaction, a torn
+        tail, crash recovery with catch-up — and check every
+        ``durable.*``/``recover.*`` metric against the catalogue."""
+        from repro.clock import ManualClock
+        from repro.crypto import KeyStore
+        from repro.drbac import CachedAuthorizer, DrbacEngine
+        from repro.durable import DurableNode, UpdateFeed
+
+        by_name = catalogue_by_name()
+        with obs.scoped() as registry:
+            engine = DrbacEngine(key_store=KeyStore(key_bits=512), clock=ManualClock())
+            cache = CachedAuthorizer(engine)
+            feed = UpdateFeed()
+            node = DurableNode(engine=engine, cache=cache, feed=feed, compact_every=2)
+            creds = [
+                engine.delegate("OrgA", f"user{i}", "OrgA.Reader", publish=False)
+                for i in range(4)
+            ]
+            for cred in creds:
+                feed.publish(cred)
+            node.crash()
+            feed.revoke(creds[0])
+            node.restart(torn_tail_bytes=1)
+            live_kinds = registry.kinds()
+        durable_metrics = {
+            name: kind for name, kind in live_kinds.items()
+            if name.startswith(("durable.", "recover."))
+        }
+        assert durable_metrics, "the durable layer recorded no metrics"
+        strays = set(durable_metrics) - set(by_name)
+        assert not strays, f"durable metrics missing from the catalogue: {strays}"
+        mismatched = {
+            name: (kind, by_name[name].kind)
+            for name, kind in durable_metrics.items()
+            if by_name[name].kind != kind
+        }
+        assert not mismatched, f"durable metric kind conflicts: {mismatched}"
+
     def test_scenario_lights_up_every_subsystem(self):
         """The acceptance criterion behind ``repro stats``: the mail
         scenario produces non-zero proof-search, channel, and deployment
